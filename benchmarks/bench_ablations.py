@@ -1,0 +1,128 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not paper tables; they probe the sensitivity of the scheme to its
+main knobs:
+
+* split layer (the commercial-cost argument: security must survive splitting
+  after higher layers);
+* lift layer (M6 vs M8 correction cells);
+* randomization amount (OER-driven stopping vs fixed swap counts);
+* attack-hint ablation (how much each hint contributes to the attack).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.attacks.network_flow import NetworkFlowAttackConfig, network_flow_attack
+from repro.circuits import get_benchmark
+from repro.core import ProtectionConfig, protect
+from repro.core.randomizer import RandomizerConfig, randomize_netlist
+from repro.metrics.security import correct_connection_rate
+from repro.sm.split import extract_feol
+from repro.utils.tables import Table, format_table
+
+BENCHMARK = "c880"
+SEED = 1
+
+
+def _protect(lift_layer=6, fractions=(0.05,)):
+    netlist = get_benchmark(BENCHMARK, seed=SEED)
+    return protect(netlist, ProtectionConfig(
+        lift_layer=lift_layer, swap_fraction_steps=fractions,
+        oer_patterns=512, seed=SEED,
+    ))
+
+
+def test_ablation_split_layer(benchmark):
+    """CCR of original vs proposed as the split layer moves up (M3..M5)."""
+
+    def run():
+        result = _protect()
+        table = Table(title="Ablation: split layer vs CCR (%)",
+                      columns=["Split", "Original CCR", "Proposed CCR"])
+        for split in (3, 4, 5):
+            row = [f"M{split}"]
+            for layout, restrict in ((result.original_layout, False),
+                                     (result.protected_layout, True)):
+                view = extract_feol(layout, split)
+                attack = network_flow_attack(view)
+                row.append(round(correct_connection_rate(view, attack.assignment, restrict), 1))
+            table.add_row(row)
+        return table
+
+    table = run_once(benchmark, run)
+    print()
+    print(format_table(table))
+    for row in table.rows:
+        assert row[2] <= 10.0  # proposed stays near zero at every split
+
+
+def test_ablation_lift_layer(benchmark):
+    """M6 vs M8 correction cells: both defeat the attack; M8 costs more wirelength."""
+
+    def run():
+        return _protect(lift_layer=6), _protect(lift_layer=8)
+
+    m6, m8 = run_once(benchmark, run)
+    table = Table(title="Ablation: lift layer", columns=[
+        "Lift layer", "Proposed CCR (%)", "Wirelength overhead (%)", "Power overhead (%)"])
+    for label, result in (("M6", m6), ("M8", m8)):
+        view = extract_feol(result.protected_layout, 4)
+        attack = network_flow_attack(view)
+        ccr = correct_connection_rate(view, attack.assignment, restrict_to_protected=True)
+        table.add_row([label, round(ccr, 1),
+                       round(result.overheads["wirelength_percent"], 1),
+                       round(result.overheads["power_percent"], 1)])
+    print()
+    print(format_table(table))
+    assert all(row[1] <= 10.0 for row in table.rows)
+
+
+def test_ablation_randomization_amount(benchmark):
+    """OER as a function of the number of swapped sink pairs."""
+
+    def run():
+        netlist = get_benchmark(BENCHMARK, seed=SEED)
+        table = Table(title="Ablation: swaps vs OER", columns=["Swaps", "OER (%)"])
+        for swaps in (4, 16, 64, 128):
+            result = randomize_netlist(netlist, RandomizerConfig(
+                max_swaps=swaps, min_swaps=swaps, target_oer_percent=100.0,
+                oer_patterns=512, seed=SEED,
+            ))
+            table.add_row([result.num_swaps, round(result.oer_percent, 2)])
+        return table
+
+    table = run_once(benchmark, run)
+    print()
+    print(format_table(table))
+    oers = [row[1] for row in table.rows]
+    assert oers[-1] >= oers[0]
+    assert oers[-1] >= 99.0
+
+
+def test_ablation_attack_hints(benchmark):
+    """Contribution of each hint to the network-flow attack on the original layout."""
+
+    def run():
+        result = _protect()
+        view = extract_feol(result.original_layout, 4)
+        table = Table(title="Ablation: attack hints vs CCR on original layout",
+                      columns=["Hints", "CCR (%)"])
+        configurations = [
+            ("distance only", NetworkFlowAttackConfig(
+                use_direction_hint=False, use_load_hint=False, use_loop_hint=False)),
+            ("+ direction", NetworkFlowAttackConfig(use_load_hint=False, use_loop_hint=False)),
+            ("+ load", NetworkFlowAttackConfig(use_loop_hint=False)),
+            ("full attack", NetworkFlowAttackConfig()),
+        ]
+        for label, config in configurations:
+            attack = network_flow_attack(view, config)
+            table.add_row([label, round(correct_connection_rate(view, attack.assignment), 1)])
+        return table
+
+    table = run_once(benchmark, run)
+    print()
+    print(format_table(table))
+    ccrs = [row[1] for row in table.rows]
+    assert ccrs[-1] >= ccrs[0]  # the full hint set is at least as strong

@@ -1,0 +1,62 @@
+"""Benchmarks regenerating the paper's Figures 4–6 and the headline numbers."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import (
+    figure4_distance_distributions,
+    figure5_wirelength_layers,
+    figure6_ppa,
+    headline,
+)
+from repro.utils.tables import format_table
+
+
+def test_figure4_distance_distributions(benchmark, bench_config):
+    """Fig. 4: distance distributions for superblue18 (percentile view)."""
+    table = run_once(
+        benchmark,
+        lambda: figure4_distance_distributions.run(bench_config, benchmark="superblue18"),
+    )
+    print()
+    print(format_table(table))
+    rows = {row[0]: row for row in table.rows}
+    # The proposed distribution's median (p50 column) exceeds the original's.
+    p50_index = table.columns.index("p50")
+    assert rows["Proposed"][p50_index] > rows["Original"][p50_index]
+
+
+def test_figure5_wirelength_layers(benchmark, bench_config):
+    """Fig. 5: per-layer wirelength shares of the randomized nets."""
+    table = run_once(benchmark, figure5_wirelength_layers.run, bench_config)
+    print()
+    print(format_table(table))
+    above_index = table.columns.index("Above split")
+    for benchmark_name in bench_config.superblue_benchmarks:
+        rows = {row[1]: row for row in table.rows if row[0] == benchmark_name}
+        assert rows["Proposed"][above_index] > rows["Original"][above_index]
+        assert rows["Proposed"][above_index] > 90.0
+
+
+def test_figure6_ppa(benchmark, bench_config):
+    """Fig. 6: PPA overheads versus the layout-randomization defense."""
+    table = run_once(benchmark, figure6_ppa.run, bench_config)
+    print()
+    print(format_table(table))
+    average = table.rows[-1]
+    # Zero area overhead, bounded power/delay overhead (paper: 0 / 11.5 / 10 %).
+    assert average[1] == 0.0
+    assert average[2] < 30.0
+    assert average[3] < 30.0
+
+
+def test_headline_security(benchmark, bench_config):
+    """Sec. 5.2 headline: 0 % CCR / ~100 % OER / ~40 % HD for the proposed scheme."""
+    table = run_once(benchmark, headline.run, bench_config)
+    print()
+    print(format_table(table))
+    rows = {row[0]: row for row in table.rows}
+    assert rows["Proposed"][1] <= 5.0      # CCR ≈ 0
+    assert rows["Proposed"][2] >= 60.0     # OER high
+    assert rows["Original"][1] >= 60.0     # original stays vulnerable

@@ -1,0 +1,75 @@
+"""Benchmarks regenerating the paper's Tables 1–6.
+
+Each benchmark prints the regenerated table (the same rows the paper
+reports) and records how long the regeneration takes.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import (
+    table1_distances,
+    table2_vias,
+    table3_crouting,
+    table4_placement_schemes,
+    table5_routing_schemes,
+    table6_magana,
+)
+from repro.utils.tables import format_table
+
+
+def bench_table(benchmark, bench_config, module):
+    table = run_once(benchmark, module.run, bench_config)
+    print()
+    print(format_table(table))
+    return table
+
+
+def test_table1_distances(benchmark, bench_config):
+    """Table 1: distances between connected gates (original/lifted/proposed)."""
+    table = bench_table(benchmark, bench_config, table1_distances)
+    proposed = [row for row in table.rows if row[1] == "Proposed"]
+    original = [row for row in table.rows if row[1] == "Original"]
+    # Shape check: the proposed layouts separate truly connected gates.
+    assert all(p[2] > o[2] for p, o in zip(proposed, original))
+
+
+def test_table2_vias(benchmark, bench_config):
+    """Table 2: additional vias of lifted/proposed layouts over the original."""
+    table = bench_table(benchmark, bench_config, table2_vias)
+    lifted_totals = [row[-1] for row in table.rows if row[1] == "Lifted (%)"]
+    proposed_totals = [row[-1] for row in table.rows if row[1] == "Proposed (%)"]
+    assert all(p > l > 0 for p, l in zip(proposed_totals, lifted_totals))
+
+
+def test_table3_crouting(benchmark, bench_config):
+    """Table 3: crouting attack vpins and candidate-list sizes."""
+    table = bench_table(benchmark, bench_config, table3_crouting)
+    assert all(row[2] > 0 for row in table.rows)
+
+
+def test_table4_placement_schemes(benchmark, bench_config):
+    """Table 4: CCR/OER/HD versus placement-perturbation defenses."""
+    table = bench_table(benchmark, bench_config, table4_placement_schemes)
+    for row in table.rows:
+        orig_ccr, proposed_ccr = row[1], row[9]
+        assert proposed_ccr <= 10.0
+        assert orig_ccr > proposed_ccr
+
+
+def test_table5_routing_schemes(benchmark, bench_config):
+    """Table 5: CCR/OER/HD versus routing-perturbation defenses."""
+    table = bench_table(benchmark, bench_config, table5_routing_schemes)
+    for row in table.rows:
+        orig_ccr, proposed_ccr = row[1], row[9]
+        assert proposed_ccr <= 10.0
+        assert orig_ccr > proposed_ccr
+
+
+def test_table6_magana(benchmark, bench_config):
+    """Table 6: additional V67/V78 versus the routing-blockage defense."""
+    table = bench_table(benchmark, bench_config, table6_magana)
+    average = table.rows[-1]
+    assert average[0] == "Average"
+    assert average[3] > 0 and average[4] > 0

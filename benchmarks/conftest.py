@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on a reduced
+configuration (fewer benchmarks, scaled superblue designs) so the whole suite
+runs in minutes.  The printed tables are the deliverable; the timing numbers
+from pytest-benchmark document the cost of each experiment.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Reduced experiment configuration used by every benchmark."""
+    return ExperimentConfig(
+        iscas_benchmarks=("c432", "c880", "c1908"),
+        superblue_benchmarks=("superblue18", "superblue5"),
+        superblue_scale=0.0025,
+        iscas_split_layers=(3, 4, 5),
+        num_patterns=512,
+        iscas_swap_fractions=(0.05,),
+        superblue_swap_fractions=(0.02,),
+        seed=1,
+    )
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

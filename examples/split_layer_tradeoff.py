@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Split-layer trade-off study.
+
+A central argument of the paper is that its scheme remains secure even when
+the layout is split after *higher* metal layers — which is what makes split
+manufacturing commercially viable (only a cheap, coarse BEOL fab is needed at
+the trusted facility).  Placement-centric defenses lose their protection as
+the split moves up, because routing below the split resolves the perturbation.
+
+This example sweeps the split layer from M3 to M7 for one benchmark and
+reports the attack's CCR on the original layout, a placement-perturbed layout
+and the proposed protected layout.
+
+Run with::
+
+    python examples/split_layer_tradeoff.py [benchmark]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.attacks import network_flow_attack
+from repro.circuits import get_benchmark
+from repro.core import ProtectionConfig, protect
+from repro.defenses import placement_perturbation_defense
+from repro.metrics import correct_connection_rate
+from repro.sm import extract_feol
+from repro.utils.tables import Table, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="c1908")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--lift-layer", type=int, default=8,
+                        help="correction-cell layer (must stay above the split)")
+    args = parser.parse_args()
+
+    netlist = get_benchmark(args.benchmark, seed=args.seed)
+    result = protect(netlist, ProtectionConfig(lift_layer=args.lift_layer, seed=args.seed))
+    perturbed = placement_perturbation_defense(netlist, seed=args.seed)
+
+    table = Table(
+        title=f"CCR (%) vs split layer for {args.benchmark}",
+        columns=["Split layer", "Original", "Placement perturbation", "Proposed"],
+    )
+    for split in range(3, args.lift_layer):
+        row = [f"M{split}"]
+        for layout, restrict in (
+            (result.original_layout, False),
+            (perturbed, False),
+            (result.protected_layout, True),
+        ):
+            view = extract_feol(layout, split)
+            attack = network_flow_attack(view)
+            row.append(round(correct_connection_rate(view, attack.assignment, restrict), 1))
+        table.add_row(row)
+    print(format_table(table))
+    print(
+        "\nThe proposed scheme keeps CCR near zero at every split layer below "
+        f"the correction-cell layer (M{args.lift_layer}), while the baselines "
+        "become easier to attack as more routing is exposed in the FEOL."
+    )
+
+
+if __name__ == "__main__":
+    main()

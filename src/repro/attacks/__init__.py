@@ -1,0 +1,38 @@
+"""Attacks on split-manufactured (FEOL-only) layouts.
+
+Two attack families from the literature are re-implemented, matching the
+paper's security evaluation:
+
+* :mod:`repro.attacks.network_flow` — the network-flow / proximity attack of
+  Wang et al. (DAC'16), used by the paper for the ISCAS-85 benchmarks.  It
+  combines physical proximity, dangling-wire direction, load-capacitance
+  feasibility and combinational-loop avoidance into a min-cost bipartite
+  assignment between open sink pins and open driver pins, then rebuilds a
+  netlist from the assignment.
+* :mod:`repro.attacks.crouting` — the routing-centric attack of Magaña et al.
+  (ICCAD'16), used by the paper for the superblue benchmarks.  It does not
+  recover a netlist; instead it narrows, for every vpin, the list of
+  candidate nets within a routing bounding box, reporting the number of
+  vpins, the expected candidate-list size E[LS] and the match-in-list rate.
+* :mod:`repro.attacks.proximity` — a plain nearest-neighbour proximity attack
+  used as a sanity baseline and in ablations.
+
+All attacks consume only a :class:`repro.sm.split.FEOLView`; the ground truth
+it carries is touched exclusively by the scoring helpers in
+:mod:`repro.metrics.security`.
+"""
+
+from repro.attacks.proximity import ProximityAttackResult, proximity_attack
+from repro.attacks.network_flow import NetworkFlowAttackConfig, NetworkFlowAttackResult, network_flow_attack
+from repro.attacks.crouting import CRoutingAttackConfig, CRoutingAttackResult, crouting_attack
+
+__all__ = [
+    "ProximityAttackResult",
+    "proximity_attack",
+    "NetworkFlowAttackConfig",
+    "NetworkFlowAttackResult",
+    "network_flow_attack",
+    "CRoutingAttackConfig",
+    "CRoutingAttackResult",
+    "crouting_attack",
+]

@@ -1,0 +1,123 @@
+"""Routing-centric ``crouting`` attack (Magaña et al., ICCAD'16 / TVLSI'17).
+
+Unlike the network-flow attack, ``crouting`` does not commit to a recovered
+netlist.  For every *vpin* (open via/pin in the topmost FEOL layer) it builds
+the list of candidate nets whose own vpins fall inside a bounding box around
+it, measured in global-routing-cell (gcell) units.  The paper (and Magaña et
+al.) then report:
+
+* **#VPins** — the number of open pins the attacker must reconnect;
+* **E[LS]** — the expected (average) candidate-list size for a given bounding
+  box (15, 30 and 45 gcells in the paper's Table 3);
+* **match in list** — for how many vpins the *correct* partner is inside the
+  candidate list (100 % means the search is sound; anything lower means the
+  true netlist is not even contained in the reduced solution space).
+
+Large E[LS] and many vpins mean a polynomially larger solution space for any
+follow-up attack, which is how the paper argues the superiority of its
+defense on the superblue benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sm.split import FEOLView, VPin
+
+
+@dataclass
+class CRoutingAttackConfig:
+    """Knobs of the crouting attack."""
+
+    #: Side length of one global-routing cell in µm.  Magaña et al. work in
+    #: gcell units of the academic routers' grid; 2 µm per gcell keeps the
+    #: scaled superblue designs comparable.
+    gcell_um: float = 2.0
+    #: Bounding-box sizes (in gcells) to evaluate.
+    bounding_boxes: Tuple[int, ...] = (15, 30, 45)
+
+
+@dataclass
+class CRoutingAttackResult:
+    """Candidate-list statistics per bounding box."""
+
+    num_vpins: int
+    #: bounding box (gcells) → expected candidate-list size.
+    expected_list_size: Dict[int, float] = field(default_factory=dict)
+    #: bounding box (gcells) → fraction of vpins whose true partner is in the list.
+    match_in_list: Dict[int, float] = field(default_factory=dict)
+    #: bounding box (gcells) → per-vpin candidate counts (driver+sink vpins).
+    candidate_counts: Dict[int, List[int]] = field(default_factory=dict)
+
+
+def _positions(vpins: Sequence[VPin]) -> np.ndarray:
+    return np.array([[vpin.position.x, vpin.position.y] for vpin in vpins], dtype=float)
+
+
+def crouting_attack(view: FEOLView,
+                    config: Optional[CRoutingAttackConfig] = None) -> CRoutingAttackResult:
+    """Run the crouting candidate-list analysis on a FEOL view.
+
+    Every vpin's candidates are the vpins of the *opposite* kind (drivers for
+    a sink, sinks for a driver) within a square bounding box of the given
+    size centred on the vpin.
+    """
+    config = config if config is not None else CRoutingAttackConfig()
+    drivers = view.driver_vpins
+    sinks = view.sink_vpins
+    result = CRoutingAttackResult(num_vpins=view.num_vpins)
+    if not drivers or not sinks:
+        for box in config.bounding_boxes:
+            result.expected_list_size[box] = 0.0
+            result.match_in_list[box] = 0.0
+            result.candidate_counts[box] = []
+        return result
+
+    driver_pos = _positions(drivers)
+    sink_pos = _positions(sinks)
+    true_driver_of_sink = view.true_driver_of_sink()
+    driver_index = {vpin.identifier: i for i, vpin in enumerate(drivers)}
+    sink_ids_by_driver: Dict[int, List[int]] = {}
+    for connection in view.open_connections:
+        sink_ids_by_driver.setdefault(connection.driver_vpin, []).append(connection.sink_vpin)
+    sink_index = {vpin.identifier: i for i, vpin in enumerate(sinks)}
+
+    for box in config.bounding_boxes:
+        radius = box * config.gcell_um / 2.0
+        counts: List[int] = []
+        matches = 0
+        total_with_truth = 0
+
+        # Sinks look for candidate drivers.
+        for si, sink in enumerate(sinks):
+            dx = np.abs(driver_pos[:, 0] - sink_pos[si, 0])
+            dy = np.abs(driver_pos[:, 1] - sink_pos[si, 1])
+            inside = (dx <= radius) & (dy <= radius)
+            counts.append(int(inside.sum()))
+            true_driver = true_driver_of_sink.get(sink.identifier)
+            if true_driver is not None:
+                total_with_truth += 1
+                if inside[driver_index[true_driver]]:
+                    matches += 1
+
+        # Drivers look for candidate sinks.
+        for di, driver in enumerate(drivers):
+            dx = np.abs(sink_pos[:, 0] - driver_pos[di, 0])
+            dy = np.abs(sink_pos[:, 1] - driver_pos[di, 1])
+            inside = (dx <= radius) & (dy <= radius)
+            counts.append(int(inside.sum()))
+            true_sinks = sink_ids_by_driver.get(driver.identifier, [])
+            if true_sinks:
+                total_with_truth += 1
+                if any(inside[sink_index[s]] for s in true_sinks):
+                    matches += 1
+
+        result.candidate_counts[box] = counts
+        result.expected_list_size[box] = float(np.mean(counts)) if counts else 0.0
+        result.match_in_list[box] = (
+            100.0 * matches / total_with_truth if total_with_truth else 0.0
+        )
+    return result

@@ -1,0 +1,274 @@
+"""Network-flow proximity attack (Wang et al., DAC'16).
+
+The attack reconnects the missing BEOL wiring of a FEOL-only layout by
+solving a min-cost flow problem between open driver pins and open sink pins.
+It uses the hints the paper lists (Sec. 2):
+
+1. **physical proximity** — cost grows with the Manhattan distance between a
+   candidate driver/sink pair;
+2. **direction of dangling wires** — the FEOL stub at each open pin points
+   roughly towards where the missing wire continues; candidate pairs whose
+   geometry disagrees with both stubs are penalised;
+3. **load-capacitance constraints** — a driver cannot be assigned a sink
+   whose input capacitance exceeds the driver's maximum load, and each driver
+   has a bounded fanout capacity;
+4. **combinational-loop avoidance** — a candidate pair that would close a
+   combinational cycle through the already-known FEOL connectivity is
+   excluded;
+5. **timing constraints** — extremely long candidate connections (longer than
+   a configurable fraction of the die half-perimeter) are deprioritised, as
+   they would violate the delay budget of the original design.
+
+The assignment is solved globally with the Hungarian algorithm on a
+sink × (driver-slot) cost matrix — an equivalent formulation of the
+min-cost-flow problem that maps directly onto ``scipy.optimize`` — and the
+recovered netlist is rebuilt from the assignment so OER/HD can be measured.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+import networkx as nx
+
+from repro.layout.geometry import manhattan
+from repro.netlist.netlist import Netlist
+from repro.sm.split import FEOLView, VPin
+
+
+@dataclass
+class NetworkFlowAttackConfig:
+    """Knobs of the network-flow attack."""
+
+    #: Weight of the dangling-direction mismatch penalty (in units of die
+    #: half-perimeter fractions converted to µm).
+    direction_weight: float = 2.5
+    #: Candidate pairs whose geometry disagrees with a dangling stub by more
+    #: than this angle (degrees) are excluded outright — the missing wire
+    #: would have to double back on its own stub.  Pairs closer than
+    #: ``direction_min_distance_um`` are exempt (the stub tips practically
+    #: touch, so the direction carries no information).
+    direction_tolerance_deg: float = 40.0
+    direction_min_distance_um: float = 1.0
+    #: Candidate connections longer than this fraction of the die
+    #: half-perimeter receive the timing penalty.
+    timing_fraction: float = 0.5
+    #: Extra cost (µm-equivalent) for timing-violating candidates.
+    timing_penalty: float = 250.0
+    #: Cost assigned to excluded (loop-forming / load-violating) candidates.
+    infeasible_cost: float = 1.0e7
+    #: Maximum number of sinks the attack allows per recovered driver.  Wang
+    #: et al. bound driver fanout through the flow capacities.
+    max_fanout_per_driver: int = 12
+    #: Use the loop-avoidance hint.
+    use_loop_hint: bool = True
+    #: Use the dangling-direction hint.
+    use_direction_hint: bool = True
+    #: Use the load-capacitance hint.
+    use_load_hint: bool = True
+
+
+@dataclass
+class NetworkFlowAttackResult:
+    """Outcome of the attack."""
+
+    assignment: Dict[int, int] = field(default_factory=dict)
+    recovered_netlist: Optional[Netlist] = None
+    num_sinks: int = 0
+    num_drivers: int = 0
+    excluded_pairs: int = 0
+
+    def recovered_pairs(self) -> Dict[int, int]:
+        return dict(self.assignment)
+
+
+def _direction_penalty(driver: VPin, sink: VPin) -> Tuple[float, float]:
+    """Direction disagreement of a candidate pair with the dangling stubs.
+
+    Returns ``(mean_penalty, sink_angle_deg)`` where ``mean_penalty`` is in
+    [0, 2] (0 = both stubs point exactly along the candidate connection) and
+    ``sink_angle_deg`` is the angle between the sink's stub and the candidate
+    connection (the sink side has exactly one missing wire, so only its angle
+    is used for hard exclusion; the driver side fans out and is only a soft
+    penalty).
+    """
+    dx = sink.position.x - driver.position.x
+    dy = sink.position.y - driver.position.y
+    norm = math.hypot(dx, dy)
+    if norm < 1e-9:
+        return 0.0, 0.0
+    ux, uy = dx / norm, dy / norm
+    penalty = 0.0
+    sink_angle = 0.0
+    count = 0
+    if driver.direction is not None:
+        cos = driver.direction[0] * ux + driver.direction[1] * uy
+        penalty += 1.0 - cos
+        count += 1
+    if sink.direction is not None:
+        # The sink's stub should point back towards the driver.
+        cos = sink.direction[0] * -ux + sink.direction[1] * -uy
+        penalty += 1.0 - cos
+        sink_angle = math.degrees(math.acos(max(-1.0, min(1.0, cos))))
+        count += 1
+    if count == 0:
+        return 0.0, 0.0
+    return penalty / count, sink_angle
+
+
+def _visible_reachability(view: FEOLView) -> nx.DiGraph:
+    """Gate-level digraph of the connectivity an attacker can already see."""
+    netlist = view.layout.netlist
+    graph = nx.DiGraph()
+    graph.add_nodes_from(
+        name for name, gate in netlist.gates.items() if not gate.cell.is_sequential
+    )
+    for net_name in view.visible_nets:
+        net = netlist.nets[net_name]
+        if net.driver is None:
+            continue
+        driver_gate = net.driver[0]
+        if driver_gate not in graph:
+            continue
+        for sink_gate, _pin in net.sinks:
+            if sink_gate in graph:
+                graph.add_edge(driver_gate, sink_gate)
+    return graph
+
+
+def network_flow_attack(view: FEOLView,
+                        config: Optional[NetworkFlowAttackConfig] = None) -> NetworkFlowAttackResult:
+    """Run the network-flow attack on a FEOL view.
+
+    Returns an assignment of every open sink vpin to an open driver vpin plus
+    the recovered netlist (the attacker's best guess of the full design).
+    """
+    config = config if config is not None else NetworkFlowAttackConfig()
+    drivers = view.driver_vpins
+    sinks = view.sink_vpins
+    result = NetworkFlowAttackResult(num_sinks=len(sinks), num_drivers=len(drivers))
+    if not drivers or not sinks:
+        result.recovered_netlist = view.layout.netlist.copy(
+            f"{view.layout.netlist.name}_recovered"
+        )
+        return result
+
+    half_perimeter = view.layout.floorplan.half_perimeter_um
+    reach = _visible_reachability(view) if config.use_loop_hint else None
+    descendants_cache: Dict[str, Set[str]] = {}
+
+    def descendants(gate: str) -> Set[str]:
+        if gate not in descendants_cache:
+            if reach is None or gate not in reach:
+                descendants_cache[gate] = set()
+            else:
+                descendants_cache[gate] = set(nx.descendants(reach, gate))
+        return descendants_cache[gate]
+
+    # Fanout capacity per driver: bounded by the flow capacity and, when the
+    # load hint is enabled, by how many typical sink loads the driver can take.
+    capacities: List[int] = []
+    typical_cap = 1.2
+    for driver in drivers:
+        capacity = config.max_fanout_per_driver
+        if config.use_load_hint and driver.max_load_ff > 0:
+            capacity = min(capacity, max(1, int(driver.max_load_ff / typical_cap / 4)))
+        capacities.append(capacity)
+    total_capacity = sum(capacities)
+    if total_capacity < len(sinks):
+        # Ensure feasibility: scale capacities up uniformly.
+        scale = int(math.ceil(len(sinks) / max(total_capacity, 1)))
+        capacities = [c * scale for c in capacities]
+
+    # Expand drivers into capacity slots and solve a rectangular assignment.
+    slot_driver_index: List[int] = []
+    for index, capacity in enumerate(capacities):
+        slot_driver_index.extend([index] * capacity)
+
+    num_slots = len(slot_driver_index)
+    cost = np.zeros((len(sinks), num_slots))
+    excluded = 0
+    base_costs = np.zeros((len(sinks), len(drivers)))
+    for si, sink in enumerate(sinks):
+        for di, driver in enumerate(drivers):
+            distance = manhattan(sink.position, driver.position)
+            pair_cost = distance
+            infeasible = False
+            if config.use_direction_hint:
+                penalty, sink_angle = _direction_penalty(driver, sink)
+                pair_cost += config.direction_weight * half_perimeter * 0.1 * penalty
+                if (
+                    sink_angle > config.direction_tolerance_deg
+                    and distance > config.direction_min_distance_um
+                ):
+                    infeasible = True
+            if distance > config.timing_fraction * half_perimeter:
+                pair_cost += config.timing_penalty
+            if (
+                config.use_load_hint
+                and driver.max_load_ff > 0
+                and sink.capacitance_ff > driver.max_load_ff
+            ):
+                infeasible = True
+            if sink.gate is not None and driver.gate is not None:
+                if sink.gate == driver.gate:
+                    infeasible = True  # direct self-loop
+                elif config.use_loop_hint and driver.gate in descendants(sink.gate):
+                    infeasible = True  # combinational loop through visible logic
+            if infeasible:
+                pair_cost = config.infeasible_cost
+                excluded += 1
+            base_costs[si, di] = pair_cost
+    for slot, di in enumerate(slot_driver_index):
+        cost[:, slot] = base_costs[:, di]
+
+    row_ind, col_ind = linear_sum_assignment(cost)
+    assignment: Dict[int, int] = {}
+    for si, slot in zip(row_ind, col_ind):
+        driver = drivers[slot_driver_index[slot]]
+        assignment[sinks[si].identifier] = driver.identifier
+    result.assignment = assignment
+    result.excluded_pairs = excluded
+    result.recovered_netlist = _rebuild_netlist(view, assignment)
+    return result
+
+
+def _rebuild_netlist(view: FEOLView, assignment: Dict[int, int]) -> Netlist:
+    """Reconstruct the attacker's netlist from a sink→driver assignment.
+
+    The attacker starts from the FEOL-visible connectivity (which equals the
+    layout's netlist minus the cut connections) and connects every open sink
+    to the net of the driver vpin it was assigned to.
+    """
+    netlist = view.layout.netlist
+    recovered = netlist.copy(f"{netlist.name}_recovered")
+    driver_net: Dict[int, str] = {}
+    for connection in view.open_connections:
+        driver_net[connection.driver_vpin] = connection.net
+    vpin_by_id: Dict[int, VPin] = {
+        vpin.identifier: vpin for vpin in view.sink_vpins
+    }
+    # The copied netlist still contains the true BEOL connections; the attacker
+    # does not know them, so every cut sink is first detached and then attached
+    # to whatever net the attack assigned (or left dangling when unassigned or
+    # when the assignment would close a combinational loop the attacker would
+    # have rejected).
+    for connection in view.open_connections:
+        sink_vpin = vpin_by_id[connection.sink_vpin]
+        assigned_driver = assignment.get(connection.sink_vpin)
+        target_net = driver_net.get(assigned_driver) if assigned_driver is not None else None
+        if sink_vpin.gate is None:
+            # Primary-output sink.
+            if sink_vpin.pin is not None and sink_vpin.pin in recovered.primary_outputs:
+                if target_net is not None:
+                    recovered.retarget_primary_output(sink_vpin.pin, target_net)
+            continue
+        recovered.disconnect_pin(sink_vpin.gate, sink_vpin.pin)
+        if target_net is not None:
+            recovered.connect_pin(sink_vpin.gate, sink_vpin.pin, target_net)
+    return recovered

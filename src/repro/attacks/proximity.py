@@ -1,0 +1,54 @@
+"""Plain proximity attack: connect every open sink to the nearest open driver.
+
+This is the simplest member of the proximity-attack family and serves as a
+baseline/ablation for the full network-flow attack: no load, direction or
+loop reasoning, no global assignment — each sink vpin independently picks the
+closest driver vpin.  On well-placed unprotected layouts it already recovers
+a large fraction of the missing BEOL connections, which is precisely the
+observation that motivated split-manufacturing attacks in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.layout.geometry import manhattan
+from repro.sm.split import FEOLView
+
+
+@dataclass
+class ProximityAttackResult:
+    """Sink-vpin → driver-vpin assignment produced by the attack."""
+
+    assignment: Dict[int, int] = field(default_factory=dict)
+    num_sinks: int = 0
+    num_drivers: int = 0
+
+    def recovered_pairs(self) -> Dict[int, int]:
+        return dict(self.assignment)
+
+
+def proximity_attack(view: FEOLView) -> ProximityAttackResult:
+    """Assign every open sink to its geometrically nearest open driver.
+
+    Sinks on the same gate as a candidate driver are not excluded and no
+    consistency constraints are enforced — this is deliberately the naive
+    attack.
+    """
+    result = ProximityAttackResult(
+        num_sinks=len(view.sink_vpins), num_drivers=len(view.driver_vpins)
+    )
+    if not view.driver_vpins:
+        return result
+    for sink in view.sink_vpins:
+        best_driver: Optional[int] = None
+        best_distance = float("inf")
+        for driver in view.driver_vpins:
+            distance = manhattan(sink.position, driver.position)
+            if distance < best_distance:
+                best_distance = distance
+                best_driver = driver.identifier
+        if best_driver is not None:
+            result.assignment[sink.identifier] = best_driver
+    return result

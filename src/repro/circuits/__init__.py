@@ -1,0 +1,35 @@
+"""Benchmark circuits.
+
+The paper evaluates on seven ISCAS-85 benchmarks and five industrial IBM
+superblue benchmarks.  Neither suite is redistributable/offline-tractable
+here, so this package generates *synthetic stand-ins* that preserve the
+statistics the defense/attack interplay depends on (gate count, I/O count,
+logic-depth profile, fanout distribution, relative suite ordering); see
+DESIGN.md for the substitution rationale.
+
+* :mod:`repro.circuits.random_logic` — the underlying seeded random
+  combinational/sequential logic generator;
+* :mod:`repro.circuits.iscas85` — ISCAS-85-like generators (c432 … c7552)
+  plus the real c17 used in unit tests;
+* :mod:`repro.circuits.superblue` — scaled-down superblue-like generators
+  (superblue1/5/10/12/18);
+* :mod:`repro.circuits.registry` — ``get_benchmark(name)`` lookup used by
+  examples, experiments and benchmark harnesses.
+"""
+
+from repro.circuits.random_logic import RandomLogicSpec, generate_random_logic
+from repro.circuits.iscas85 import ISCAS85_PROFILES, c17_netlist, iscas85_netlist
+from repro.circuits.superblue import SUPERBLUE_PROFILES, superblue_netlist
+from repro.circuits.registry import available_benchmarks, get_benchmark
+
+__all__ = [
+    "RandomLogicSpec",
+    "generate_random_logic",
+    "ISCAS85_PROFILES",
+    "c17_netlist",
+    "iscas85_netlist",
+    "SUPERBLUE_PROFILES",
+    "superblue_netlist",
+    "available_benchmarks",
+    "get_benchmark",
+]

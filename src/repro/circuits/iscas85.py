@@ -1,0 +1,111 @@
+"""ISCAS-85-like benchmark circuits.
+
+The paper evaluates its ISCAS-85 results (Tables 4 and 5, Fig. 6) on the
+classic combinational benchmarks c432 … c7552.  The original netlists are not
+redistributable here, so :func:`iscas85_netlist` generates a synthetic
+circuit per benchmark with the published gate count, primary-input count and
+primary-output count (see :data:`ISCAS85_PROFILES`).  Each generator is
+seeded by the benchmark name, so "c880" is always the same circuit.
+
+The real (tiny) **c17** netlist *is* included verbatim — it is six NAND gates
+and is public-domain folklore — and is used throughout the unit tests as a
+ground-truth circuit with a known truth table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.circuits.random_logic import RandomLogicSpec, generate_random_logic
+from repro.netlist.bench_format import parse_bench
+from repro.netlist.cells import CellLibrary
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Published statistics of an ISCAS-85 benchmark."""
+
+    name: str
+    num_gates: int
+    num_inputs: int
+    num_outputs: int
+    description: str
+
+
+#: Gate/IO counts follow the commonly cited ISCAS-85 statistics.
+ISCAS85_PROFILES: Dict[str, BenchmarkProfile] = {
+    "c432": BenchmarkProfile("c432", 160, 36, 7, "27-channel interrupt controller"),
+    "c499": BenchmarkProfile("c499", 202, 41, 32, "32-bit SEC circuit"),
+    "c880": BenchmarkProfile("c880", 383, 60, 26, "8-bit ALU"),
+    "c1355": BenchmarkProfile("c1355", 546, 41, 32, "32-bit SEC circuit (expanded)"),
+    "c1908": BenchmarkProfile("c1908", 880, 33, 25, "16-bit SEC/DED circuit"),
+    "c2670": BenchmarkProfile("c2670", 1193, 233, 140, "12-bit ALU and controller"),
+    "c3540": BenchmarkProfile("c3540", 1669, 50, 22, "8-bit ALU"),
+    "c5315": BenchmarkProfile("c5315", 2307, 178, 123, "9-bit ALU"),
+    "c6288": BenchmarkProfile("c6288", 2416, 32, 32, "16x16 multiplier"),
+    "c7552": BenchmarkProfile("c7552", 3512, 207, 108, "32-bit adder/comparator"),
+}
+
+#: The benchmarks used in the paper's Tables 4 and 5.
+PAPER_ISCAS85_SET = (
+    "c432", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c6288", "c7552",
+)
+
+
+#: The genuine ISCAS-85 c17 benchmark (6 NAND gates), used in unit tests.
+C17_BENCH = """
+# c17 (ISCAS-85)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+
+OUTPUT(G22)
+OUTPUT(G23)
+
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+def c17_netlist(library: Optional[CellLibrary] = None) -> Netlist:
+    """Return the genuine ISCAS-85 c17 netlist (6 NAND2 gates)."""
+    return parse_bench(C17_BENCH, name="c17", library=library)
+
+
+def iscas85_netlist(name: str, seed: int = 0,
+                    library: Optional[CellLibrary] = None) -> Netlist:
+    """Return an ISCAS-85-like synthetic netlist for benchmark ``name``.
+
+    Args:
+        name: Benchmark name, e.g. ``"c880"``.  ``"c17"`` returns the real
+            circuit.
+        seed: Extra seed folded into the per-benchmark seed, so variant
+            instances can be generated when needed (default 0 = canonical).
+        library: Cell library (default Nangate45-like).
+
+    Raises:
+        KeyError: If ``name`` is not a known ISCAS-85 benchmark.
+    """
+    if name == "c17":
+        return c17_netlist(library)
+    profile = ISCAS85_PROFILES[name]
+    spec = RandomLogicSpec(
+        name=profile.name,
+        num_gates=profile.num_gates,
+        num_inputs=profile.num_inputs,
+        num_outputs=profile.num_outputs,
+        seed=derive_seed(seed, "iscas85", profile.name),
+        locality_window=8,
+        global_net_fraction=0.05,
+        sequential_fraction=0.0,
+    )
+    return generate_random_logic(spec, library)

@@ -1,0 +1,186 @@
+"""Seeded random logic generator.
+
+Produces mapped, loop-free netlists with controllable size, I/O counts,
+depth and fanout statistics.  Both benchmark families
+(:mod:`repro.circuits.iscas85` and :mod:`repro.circuits.superblue`) are thin
+parameterisations of this generator.
+
+The construction is topological: gates are created in level order, and each
+gate draws its inputs from already-created signals with a locality bias —
+signals created recently (and therefore close in the logical hierarchy) are
+preferred.  This mirrors real designs, where most nets are short/local, and
+gives the physical-design flow the proximity structure that proximity attacks
+exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netlist.cells import CellLibrary, default_library
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import make_rng
+
+#: (cell name, weight) — combinational cell mix used for generated logic.
+DEFAULT_CELL_MIX: Tuple[Tuple[str, float], ...] = (
+    ("NAND2_X1", 0.22),
+    ("NOR2_X1", 0.14),
+    ("INV_X1", 0.14),
+    ("AND2_X1", 0.09),
+    ("OR2_X1", 0.09),
+    ("NAND3_X1", 0.07),
+    ("NOR3_X1", 0.05),
+    ("XOR2_X1", 0.06),
+    ("XNOR2_X1", 0.04),
+    ("AOI21_X1", 0.04),
+    ("OAI21_X1", 0.03),
+    ("BUF_X1", 0.02),
+    ("NAND4_X1", 0.005),
+    ("NOR4_X1", 0.005),
+    ("AND3_X1", 0.005),
+    ("OR3_X1", 0.005),
+)
+
+
+@dataclass
+class RandomLogicSpec:
+    """Parameters of a generated circuit.
+
+    Attributes:
+        name: Netlist name.
+        num_gates: Number of combinational gates to create.
+        num_inputs: Number of primary inputs.
+        num_outputs: Number of primary outputs.
+        seed: Generator seed; the same spec + seed always yields the same
+            netlist.
+        locality_window: Number of most-recently-created signals a gate's
+            inputs are preferentially drawn from.  Real designs have bounded
+            local structure (a gate talks to its logic cone neighbours), so
+            this is an absolute count, independent of design size.
+        global_net_fraction: Probability that an input is instead drawn
+            uniformly from *all* existing signals — these become the long,
+            global nets every real design has.
+        sequential_fraction: Fraction of gates replaced by D flip-flops
+            (superblue-like designs are register-rich; ISCAS-85 uses 0).
+        cell_mix: Weighted combinational cell mix.
+    """
+
+    name: str
+    num_gates: int
+    num_inputs: int
+    num_outputs: int
+    seed: int = 0
+    locality_window: int = 16
+    global_net_fraction: float = 0.10
+    sequential_fraction: float = 0.0
+    cell_mix: Tuple[Tuple[str, float], ...] = DEFAULT_CELL_MIX
+
+    def __post_init__(self) -> None:
+        if self.num_gates < 1:
+            raise ValueError("num_gates must be >= 1")
+        if self.num_inputs < 1:
+            raise ValueError("num_inputs must be >= 1")
+        if self.num_outputs < 1:
+            raise ValueError("num_outputs must be >= 1")
+        if self.locality_window < 1:
+            raise ValueError("locality_window must be >= 1")
+        if not (0.0 <= self.global_net_fraction <= 1.0):
+            raise ValueError("global_net_fraction must be in [0, 1]")
+        if not (0.0 <= self.sequential_fraction < 1.0):
+            raise ValueError("sequential_fraction must be in [0, 1)")
+
+
+def _pick_source(rng, signals: Sequence[str], window: int, global_fraction: float) -> str:
+    """Pick a source signal with a bias towards the most recent ones."""
+    n = len(signals)
+    if rng.random() >= global_fraction:
+        # Local pick from the trailing window.
+        index = n - 1 - rng.randrange(min(window, n))
+    else:
+        # Global pick (long/global net).
+        index = rng.randrange(n)
+    return signals[index]
+
+
+def generate_random_logic(spec: RandomLogicSpec,
+                          library: Optional[CellLibrary] = None) -> Netlist:
+    """Generate a mapped netlist according to ``spec``.
+
+    The result is guaranteed to be combinational-loop-free (construction is
+    topological), every primary output is driven, and the netlist passes
+    :meth:`Netlist.validate`.
+    """
+    library = library if library is not None else default_library()
+    rng = make_rng(spec.seed, "random_logic", spec.name)
+    netlist = Netlist(spec.name, library)
+
+    signals: List[str] = []
+    for i in range(spec.num_inputs):
+        pi = f"pi_{i}"
+        netlist.add_primary_input(pi)
+        signals.append(pi)
+
+    cell_names = [name for name, _ in spec.cell_mix]
+    weights = [weight for _, weight in spec.cell_mix]
+
+    clock_net = None
+    if spec.sequential_fraction > 0.0:
+        clock_net = "clk"
+        netlist.add_primary_input(clock_net)
+
+    for i in range(spec.num_gates):
+        out_net = f"n_{i}"
+        if clock_net is not None and rng.random() < spec.sequential_fraction:
+            source = _pick_source(rng, signals, spec.locality_window, spec.global_net_fraction)
+            netlist.add_gate(
+                f"ff_{i}", "DFF_X1", {"D": source, "CK": clock_net, "Q": out_net}
+            )
+            signals.append(out_net)
+            continue
+        cell_name = rng.choices(cell_names, weights=weights, k=1)[0]
+        cell = library[cell_name]
+        sources: List[str] = []
+        for _pin in cell.input_pins:
+            source = _pick_source(rng, signals, spec.locality_window, spec.global_net_fraction)
+            # Avoid duplicate inputs where possible (keeps functions non-trivial).
+            retries = 0
+            while source in sources and retries < 4 and len(signals) > len(sources):
+                source = _pick_source(rng, signals, spec.locality_window, spec.global_net_fraction)
+                retries += 1
+            sources.append(source)
+        connections = {pin.name: src for pin, src in zip(cell.input_pins, sources)}
+        connections[cell.output_pins[0].name] = out_net
+        netlist.add_gate(f"g_{i}", cell_name, connections)
+        signals.append(out_net)
+
+    _assign_outputs(netlist, spec, rng)
+
+    problems = netlist.validate()
+    if problems:  # pragma: no cover - construction should always be clean
+        raise RuntimeError(f"generated netlist is inconsistent: {problems[:3]}")
+    return netlist
+
+
+def _assign_outputs(netlist: Netlist, spec: RandomLogicSpec, rng) -> None:
+    """Choose primary outputs, preferring gate outputs with no fanout.
+
+    Dangling gate outputs that are not selected as primary outputs are still
+    exported as outputs when room permits; otherwise they remain unconnected
+    (harmless for simulation and physical design).
+    """
+    dangling = [
+        net.name for net in netlist.nets.values()
+        if net.driver is not None and not net.sinks and not net.primary_outputs
+    ]
+    rng.shuffle(dangling)
+    chosen: List[str] = list(dangling[: spec.num_outputs])
+    if len(chosen) < spec.num_outputs:
+        candidates = [
+            net.name for net in netlist.nets.values()
+            if net.driver is not None and net.name not in chosen
+        ]
+        rng.shuffle(candidates)
+        chosen.extend(candidates[: spec.num_outputs - len(chosen)])
+    for index, net_name in enumerate(chosen[: spec.num_outputs]):
+        netlist.add_primary_output(f"po_{index}", net_name)

@@ -1,0 +1,178 @@
+"""Correction-cell and naive-lifting-cell placement (paper Sec. 4, Fig. 3).
+
+Correction cells are 2-input/2-output cells (inputs ``C``/``D``, outputs
+``Y``/``Z``) whose pins sit in a high metal layer (M6 or M8).  They occupy no
+FEOL resources, so they may overlap standard cells freely — but two
+correction cells must not overlap *each other*, which the paper enforces with
+custom legalization scripts.  This module reproduces that behaviour:
+
+* :func:`place_correction_cells` drops one cell at the driver side and one at
+  the sink side of every swapped connection (re-routing is always *between
+  pairs of correction cells*);
+* :func:`legalize_correction_cells` nudges overlapping correction cells onto
+  free positions of a coarse grid in the lift layer, keeping them as close as
+  possible to their anchor gates.
+
+Naive-lifting cells follow the same placement/legalization path but carry a
+single C→Y arc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.layout.floorplan import Floorplan
+from repro.layout.geometry import Point
+from repro.netlist.cells import SITE_WIDTH_UM, ROW_HEIGHT_UM
+
+
+def correction_cell_name(lift_layer: int, naive: bool = False) -> str:
+    """Library cell name for a correction (or naive-lifting) cell at ``lift_layer``."""
+    if lift_layer not in (6, 8):
+        raise ValueError("correction cells are characterised for M6 and M8 only")
+    return f"{'LIFT' if naive else 'CORRECTION'}_M{lift_layer}"
+
+
+@dataclass(frozen=True)
+class CorrectionCellInstance:
+    """One placed correction (or naive-lifting) cell.
+
+    Attributes:
+        name: Instance name.
+        cell: Library cell name (``CORRECTION_M6`` ...).
+        position: Legalized position (µm).
+        anchor_gate: The standard cell (driver or sink) this cell serves.
+        role: ``"driver"`` or ``"sink"`` side of the restored connection.
+        connection_id: Index of the swapped connection this cell belongs to;
+            the two cells of a pair share it.
+        lift_layer: Metal layer of the cell's pins.
+    """
+
+    name: str
+    cell: str
+    position: Point
+    anchor_gate: Optional[str]
+    role: str
+    connection_id: int
+    lift_layer: int
+
+    #: Footprint used for cell-vs-cell overlap checks (µm).
+    width_um: float = 4 * SITE_WIDTH_UM
+    height_um: float = ROW_HEIGHT_UM
+
+    def overlaps(self, other: "CorrectionCellInstance", tolerance: float = 1e-6) -> bool:
+        return not (
+            self.position.x + self.width_um <= other.position.x + tolerance
+            or other.position.x + other.width_um <= self.position.x + tolerance
+            or self.position.y + self.height_um <= other.position.y + tolerance
+            or other.position.y + other.height_um <= self.position.y + tolerance
+        )
+
+
+def place_correction_cells(
+    anchors: Iterable[Tuple[int, str, Optional[str], Point]],
+    lift_layer: int,
+    naive: bool = False,
+) -> List[CorrectionCellInstance]:
+    """Create one correction cell per anchor.
+
+    Args:
+        anchors: Iterable of ``(connection_id, role, anchor_gate, position)``
+            tuples — one per driver side and one per sink side of every
+            swapped (or lifted) connection.
+        lift_layer: Pin layer of the cells (6 or 8).
+        naive: Use naive-lifting cells instead of correction cells.
+
+    Returns:
+        Unlegalized cell instances located exactly at their anchors.
+    """
+    cell = correction_cell_name(lift_layer, naive)
+    prefix = "lc" if naive else "cc"
+    instances: List[CorrectionCellInstance] = []
+    for index, (connection_id, role, anchor_gate, position) in enumerate(anchors):
+        instances.append(
+            CorrectionCellInstance(
+                name=f"{prefix}_{connection_id}_{role}_{index}",
+                cell=cell,
+                position=position,
+                anchor_gate=anchor_gate,
+                role=role,
+                connection_id=connection_id,
+                lift_layer=lift_layer,
+            )
+        )
+    return instances
+
+
+def legalize_correction_cells(
+    instances: List[CorrectionCellInstance],
+    floorplan: Floorplan,
+) -> List[CorrectionCellInstance]:
+    """Remove overlaps between correction cells.
+
+    Cells are snapped to a coarse grid whose pitch equals the cell footprint;
+    when a grid slot is already taken the cell spirals outwards to the nearest
+    free slot.  Standard cells are ignored entirely — correction cells are
+    allowed to overlap them because their pins live in the BEOL.
+
+    Returns:
+        A new list of instances with non-overlapping positions, in the same
+        order as the input.
+    """
+    if not instances:
+        return []
+    pitch_x = instances[0].width_um
+    pitch_y = instances[0].height_um
+    die = floorplan.die
+    columns = max(1, int(die.width / pitch_x))
+    rows = max(1, int(die.height / pitch_y))
+    occupied: Dict[Tuple[int, int], str] = {}
+    legalized: List[CorrectionCellInstance] = []
+
+    def slot_of(point: Point) -> Tuple[int, int]:
+        col = int((point.x - die.x_min) / pitch_x)
+        row = int((point.y - die.y_min) / pitch_y)
+        return (min(max(col, 0), columns - 1), min(max(row, 0), rows - 1))
+
+    def spiral(start: Tuple[int, int]):
+        """Yield grid slots in increasing Chebyshev distance from ``start``."""
+        yield start
+        for radius in range(1, max(columns, rows)):
+            for dc in range(-radius, radius + 1):
+                for dr in (-radius, radius):
+                    yield (start[0] + dc, start[1] + dr)
+            for dr in range(-radius + 1, radius):
+                for dc in (-radius, radius):
+                    yield (start[0] + dc, start[1] + dr)
+
+    for instance in instances:
+        home = slot_of(instance.position)
+        placed = False
+        for col, row in spiral(home):
+            if not (0 <= col < columns and 0 <= row < rows):
+                continue
+            if (col, row) in occupied:
+                continue
+            occupied[(col, row)] = instance.name
+            position = Point(die.x_min + col * pitch_x, die.y_min + row * pitch_y)
+            legalized.append(replace(instance, position=position))
+            placed = True
+            break
+        if not placed:
+            # Grid full (pathological); keep the original position.
+            legalized.append(instance)
+    return legalized
+
+
+def check_correction_cell_overlaps(instances: List[CorrectionCellInstance]) -> List[Tuple[str, str]]:
+    """Return pairs of overlapping correction cells (empty list == legal)."""
+    overlaps: List[Tuple[str, str]] = []
+    ordered = sorted(instances, key=lambda inst: (inst.position.y, inst.position.x))
+    for i, a in enumerate(ordered):
+        for b in ordered[i + 1:]:
+            if b.position.y >= a.position.y + a.height_um - 1e-6:
+                break
+            if a.overlaps(b):
+                overlaps.append((a.name, b.name))
+    return overlaps

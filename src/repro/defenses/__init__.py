@@ -1,0 +1,43 @@
+"""Prior-art split-manufacturing defenses (comparison baselines).
+
+The paper contrasts its scheme against several published defenses (Tables 4,
+5 and 6).  The original implementations/protected layouts are not available
+offline, so simplified re-implementations are provided.  Each baseline takes
+a netlist (plus knobs) and produces a :class:`~repro.layout.layout.Layout`
+that the same attack/metric harness consumes, so every comparison column can
+be regenerated rather than quoted:
+
+* :mod:`repro.defenses.placement_perturbation` — selective gate-level
+  placement perturbation (Wang et al., DAC'16 defense [5]);
+* :mod:`repro.defenses.layout_randomization` — the four randomization
+  strategies of Sengupta et al. (ICCAD'17 [8]): random, g-color, g-type1,
+  g-type2;
+* :mod:`repro.defenses.pin_swapping` — block-level pin swapping (Rajendran
+  et al., DATE'13 [3]);
+* :mod:`repro.defenses.routing_perturbation` — routing perturbation (Wang et
+  al., ASP-DAC'17 [12]);
+* :mod:`repro.defenses.synergistic` — the routing-based scheme of Feng et al.
+  (ICCAD'17 [9]);
+* :mod:`repro.defenses.routing_blockage` — the routing-blockage approach of
+  Magaña et al. ([6, 7]), used for the Table 6 via-count comparison.
+
+The paper's own quoted numbers for these schemes are additionally recorded in
+``repro.experiments.paper_data`` so EXPERIMENTS.md can report both.
+"""
+
+from repro.defenses.placement_perturbation import placement_perturbation_defense
+from repro.defenses.layout_randomization import LayoutRandomizationStrategy, layout_randomization_defense
+from repro.defenses.pin_swapping import pin_swapping_defense
+from repro.defenses.routing_perturbation import routing_perturbation_defense
+from repro.defenses.synergistic import synergistic_defense
+from repro.defenses.routing_blockage import routing_blockage_defense
+
+__all__ = [
+    "placement_perturbation_defense",
+    "LayoutRandomizationStrategy",
+    "layout_randomization_defense",
+    "pin_swapping_defense",
+    "routing_perturbation_defense",
+    "synergistic_defense",
+    "routing_blockage_defense",
+]

@@ -1,0 +1,94 @@
+"""Numbers quoted from the paper, for side-by-side reporting.
+
+These are transcribed from the published tables so that EXPERIMENTS.md (and
+the benchmark harnesses) can print "paper vs. measured" rows.  They are never
+used by any algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Table 1 — distances between connected gates (µm): (mean, median, std).
+PAPER_TABLE1: Dict[str, Dict[str, tuple]] = {
+    "superblue1": {"original": (14.31, 2.85, 54.84), "lifted": (14.37, 2.92, 54.83),
+                   "proposed": (198.46, 48.41, 318.88)},
+    "superblue5": {"original": (14.38, 2.99, 49.16), "lifted": (14.39, 2.99, 49.17),
+                   "proposed": (244.73, 96.9, 328.84)},
+    "superblue10": {"original": (12.66, 2.73, 49.59), "lifted": (12.71, 2.8, 49.58),
+                    "proposed": (254.06, 71.03, 372.07)},
+    "superblue12": {"original": (19.06, 3.18, 75.37), "lifted": (19.08, 3.23, 75.37),
+                    "proposed": (263.21, 81.28, 395.26)},
+    "superblue18": {"original": (12.91, 2.54, 41.74), "lifted": (12.93, 2.54, 41.74),
+                    "proposed": (208.47, 119.51, 244.81)},
+}
+
+#: Table 2 — total-via increase (%) of lifted / proposed layouts over original.
+PAPER_TABLE2_TOTALS: Dict[str, Dict[str, float]] = {
+    "superblue1": {"lifted": 0.61, "proposed": 5.87},
+    "superblue5": {"lifted": 0.9, "proposed": 9.2},
+    "superblue10": {"lifted": 0.52, "proposed": 7.90},
+    "superblue12": {"lifted": 0.2, "proposed": 7.78},
+    "superblue18": {"lifted": 0.73, "proposed": 7.34},
+}
+
+#: Sec. 5.2 — V56 increase of proposed over naive lifting, averaged (split M5).
+PAPER_V56_OVER_LIFTED_PERCENT = 30.65
+
+#: Table 3 — crouting results for the original layouts: #vpins and E[LS] at
+#: bounding boxes 15/30/45 gcells.
+PAPER_TABLE3_ORIGINAL: Dict[str, Dict[str, float]] = {
+    "superblue1": {"vpins": 73110, "els15": 4.63, "els30": 13.25, "els45": 23.46},
+    "superblue5": {"vpins": 67194, "els15": 4.86, "els30": 13.99, "els45": 24.87},
+    "superblue10": {"vpins": 155180, "els15": 5.05, "els30": 14.54, "els45": 25.75},
+    "superblue12": {"vpins": 127112, "els15": 4.84, "els30": 13.85, "els45": 24.45},
+    "superblue18": {"vpins": 50026, "els15": 3.76, "els30": 10.86, "els45": 19.17},
+}
+
+#: Table 4 — CCR / OER / HD (%) per ISCAS-85 benchmark for the original
+#: layouts and the proposed scheme, plus prior-art CCR averages.
+PAPER_TABLE4: Dict[str, Dict[str, tuple]] = {
+    "c432": {"original": (92.4, 75.4, 23.4), "proposed": (0.0, 99.9, 48.4)},
+    "c880": {"original": (100.0, 0.0, 0.0), "proposed": (0.0, 99.9, 43.4)},
+    "c1355": {"original": (95.4, 59.5, 2.4), "proposed": (0.0, 99.9, 40.1)},
+    "c1908": {"original": (97.5, 52.3, 4.3), "proposed": (0.0, 99.9, 46.2)},
+    "c2670": {"original": (86.3, 99.9, 7.0), "proposed": (0.0, 99.9, 39.8)},
+    "c3540": {"original": (88.2, 95.4, 18.2), "proposed": (0.0, 99.9, 47.9)},
+    "c5315": {"original": (93.5, 98.7, 4.3), "proposed": (0.0, 99.9, 38.3)},
+    "c6288": {"original": (97.8, 36.8, 3.0), "proposed": (0.0, 99.9, 31.6)},
+    "c7552": {"original": (97.8, 69.5, 1.6), "proposed": (0.0, 99.9, 27.8)},
+}
+
+#: Table 4/5 — average CCR (%) of the prior-art schemes, as quoted.
+PAPER_PRIOR_ART_AVERAGE_CCR: Dict[str, float] = {
+    "original": 94.3,
+    "placement_perturbation_wang": 91.9,
+    "randomization_sengupta_random": 57.0,
+    "randomization_sengupta_gcolor": 66.1,
+    "randomization_sengupta_gtype1": 66.4,
+    "randomization_sengupta_gtype2": 62.9,
+    "pin_swapping_rajendran": 88.1,
+    "routing_perturbation_wang": 72.4,
+    "synergistic_feng": 20.8,
+    "proposed": 0.0,
+}
+
+#: Table 6 — additional V67 / V78 (%) for the routing-blockage defense of
+#: Magaña et al. and the proposed scheme (split M6, restore in M8).
+PAPER_TABLE6: Dict[str, Dict[str, tuple]] = {
+    "superblue1": {"blockage": (23.28, 65.07), "proposed": (36.32, 49.22)},
+    "superblue5": {"blockage": (12.74, 24.01), "proposed": (55.12, 59.47)},
+    "superblue10": {"blockage": (64.85, 84.09), "proposed": (62.09, 73.12)},
+    "superblue12": {"blockage": (16.99, 35.59), "proposed": (79.34, 70.59)},
+    "superblue18": {"blockage": (24.73, 58.66), "proposed": (61.87, 124.16)},
+    "average": {"blockage": (28.52, 53.48), "proposed": (58.95, 75.31)},
+}
+
+#: Sec. 5.3 — average PPA overheads (%) of the proposed scheme.
+PAPER_PPA_OVERHEADS: Dict[str, Dict[str, float]] = {
+    "iscas85": {"area": 0.0, "power": 11.5, "delay": 10.0},
+    "superblue": {"area": 0.0, "power": 3.5, "delay": 2.7},
+}
+
+#: Sec. 5.2 — headline averages of the proposed scheme (ISCAS-85).
+PAPER_HEADLINE = {"ccr": 0.0, "oer": 99.9, "hd": 40.4}

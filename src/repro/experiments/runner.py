@@ -1,0 +1,103 @@
+"""Run every experiment and print (or save) the regenerated tables.
+
+Usage::
+
+    python -m repro.experiments.runner            # full default configuration
+    python -m repro.experiments.runner --quick    # reduced benchmark sets
+
+The runner shares one artefact cache across all experiments, so the expensive
+protection flows run once per benchmark regardless of how many tables consume
+them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    figure4_distance_distributions,
+    figure5_wirelength_layers,
+    figure6_ppa,
+    headline,
+    table1_distances,
+    table2_vias,
+    table3_crouting,
+    table4_placement_schemes,
+    table5_routing_schemes,
+    table6_magana,
+)
+from repro.experiments.common import ExperimentConfig
+from repro.utils.tables import Table, format_table
+
+#: Experiment id → run() callable, in the order they are reported.
+EXPERIMENTS: Dict[str, Callable[[Optional[ExperimentConfig]], Table]] = {
+    "table1": table1_distances.run,
+    "table2": table2_vias.run,
+    "table3": table3_crouting.run,
+    "table4": table4_placement_schemes.run,
+    "table5": table5_routing_schemes.run,
+    "table6": table6_magana.run,
+    "figure4": figure4_distance_distributions.run,
+    "figure5": figure5_wirelength_layers.run,
+    "figure6": figure6_ppa.run,
+    "headline": headline.run,
+}
+
+
+def quick_config() -> ExperimentConfig:
+    """A reduced configuration for smoke runs and CI."""
+    return ExperimentConfig(
+        iscas_benchmarks=("c432", "c880", "c1908"),
+        superblue_benchmarks=("superblue18", "superblue5"),
+        superblue_scale=0.0025,
+        iscas_split_layers=(4,),
+        num_patterns=512,
+    )
+
+
+def run_all(config: Optional[ExperimentConfig] = None,
+            only: Optional[List[str]] = None) -> Dict[str, Table]:
+    """Run the selected experiments and return their tables."""
+    config = config if config is not None else ExperimentConfig()
+    selected = only if only else list(EXPERIMENTS)
+    results: Dict[str, Table] = {}
+    for name in selected:
+        if name not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+        start = time.time()
+        results[name] = EXPERIMENTS[name](config)
+        results[name].title += f"   [{time.time() - start:.1f}s]"
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced benchmark sets")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help=f"subset of experiments ({', '.join(EXPERIMENTS)})")
+    parser.add_argument("--superblue-scale", type=float, default=None,
+                        help="override the superblue down-scaling factor")
+    args = parser.parse_args(argv)
+
+    config = quick_config() if args.quick else ExperimentConfig()
+    if args.superblue_scale is not None:
+        config = ExperimentConfig(
+            iscas_benchmarks=config.iscas_benchmarks,
+            superblue_benchmarks=config.superblue_benchmarks,
+            superblue_scale=args.superblue_scale,
+            iscas_split_layers=config.iscas_split_layers,
+            num_patterns=config.num_patterns,
+            seed=config.seed,
+        )
+    results = run_all(config, args.only)
+    for table in results.values():
+        print(format_table(table))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    sys.exit(main())

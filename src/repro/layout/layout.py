@@ -1,0 +1,196 @@
+"""The :class:`Layout` container: netlist + floorplan + placement + routing.
+
+A :class:`Layout` is the unit every downstream consumer works on:
+
+* the split-manufacturing model (:mod:`repro.sm`) derives FEOL views from it;
+* the security metrics measure gate distances, wirelength shares and via
+  counts on it;
+* the PPA metrics feed its routed net lengths into the STA and power models.
+
+:func:`build_layout` is the convenience "run the whole physical-design flow"
+entry point used for *unprotected* (original) layouts; the protection flow in
+:mod:`repro.core.flow` assembles its protected layouts from the same pieces
+but with the erroneous netlist placed and the true connectivity restored in
+the BEOL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.layout.floorplan import Floorplan, build_floorplan
+from repro.layout.geometry import Point, manhattan
+from repro.layout.placer import PlacementResult, PlacerConfig, place
+from repro.layout.router import RoutedNet, RouterConfig, route
+from repro.netlist.cells import NUM_METAL_LAYERS
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class Layout:
+    """A fully placed-and-routed design.
+
+    Attributes:
+        name: Layout name (usually ``<benchmark>_<variant>``).
+        netlist: The *functional* netlist the layout implements.  For the
+            paper's protected layouts this is the original (restored) netlist
+            even though placement was optimized for the erroneous one.
+        placement: Cell and I/O positions.
+        routing: Routed nets by name.
+        protected_nets: Names of nets whose connectivity was randomized and
+            restored through the BEOL (empty for unprotected layouts).
+        lift_layer: Correction/lifting cell pin layer, when applicable.
+        metadata: Free-form provenance (seed, variant, PPA budget...).
+    """
+
+    name: str
+    netlist: Netlist
+    placement: PlacementResult
+    routing: Dict[str, RoutedNet]
+    protected_nets: Set[str] = field(default_factory=set)
+    lift_layer: Optional[int] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Geometry queries
+    # ------------------------------------------------------------------
+    @property
+    def floorplan(self) -> Floorplan:
+        return self.placement.floorplan
+
+    def gate_position(self, gate_name: str) -> Point:
+        return self.placement.gate_positions[gate_name]
+
+    def port_position(self, port_name: str) -> Point:
+        return self.placement.port_positions[port_name]
+
+    def net_terminal_positions(self, net_name: str) -> List[Point]:
+        """Positions of every terminal (driver + sinks + POs) of a net."""
+        net = self.netlist.nets[net_name]
+        points: List[Point] = []
+        if net.driver is not None and net.driver[0] in self.placement.gate_positions:
+            points.append(self.gate_position(net.driver[0]))
+        elif net.is_primary_input and net.name in self.placement.port_positions:
+            points.append(self.port_position(net.name))
+        for sink_gate, _pin in net.sinks:
+            if sink_gate in self.placement.gate_positions:
+                points.append(self.gate_position(sink_gate))
+        for po in net.primary_outputs:
+            if po in self.placement.port_positions:
+                points.append(self.port_position(po))
+        return points
+
+    # ------------------------------------------------------------------
+    # Wirelength / via accounting
+    # ------------------------------------------------------------------
+    def total_wirelength_um(self) -> float:
+        return sum(net.length for net in self.routing.values())
+
+    def wirelength_by_layer(self) -> Dict[int, float]:
+        """Routed wirelength per metal layer (µm)."""
+        totals: Dict[int, float] = {layer: 0.0 for layer in range(1, NUM_METAL_LAYERS + 1)}
+        for routed in self.routing.values():
+            for layer, length in routed.wirelength_by_layer().items():
+                totals[layer] = totals.get(layer, 0.0) + length
+        return totals
+
+    def via_counts(self) -> Dict[Tuple[int, int], int]:
+        """Number of vias per adjacent layer pair, e.g. ``{(1, 2): 812, ...}``."""
+        totals: Dict[Tuple[int, int], int] = {
+            (layer, layer + 1): 0 for layer in range(1, NUM_METAL_LAYERS)
+        }
+        for routed in self.routing.values():
+            for key, count in routed.via_counts().items():
+                totals[key] = totals.get(key, 0) + count
+        return totals
+
+    def total_vias(self) -> int:
+        return sum(self.via_counts().values())
+
+    def net_lengths_um(self) -> Dict[str, float]:
+        """Routed length per net (µm) — consumed by the STA/power models."""
+        return {name: routed.length for name, routed in self.routing.items()}
+
+    def net_top_layers(self) -> Dict[str, int]:
+        """Topmost layer used per net — consumed by the wire RC models."""
+        return {name: routed.top_layer for name, routed in self.routing.items()}
+
+    def die_area_um2(self) -> float:
+        return self.floorplan.area_um2
+
+    # ------------------------------------------------------------------
+    # Connection-level views (used by metrics and attacks)
+    # ------------------------------------------------------------------
+    def connected_gate_distances(self, nets: Optional[Set[str]] = None) -> List[float]:
+        """Distances (µm) between the driver and each sink gate of every net.
+
+        This is the quantity behind the paper's Table 1 and Fig. 4: for
+        protected layouts the *true* connectivity (stored in ``self.netlist``)
+        is measured against the placement that was optimized for the
+        erroneous netlist, so the distances blow up.
+
+        Args:
+            nets: Restrict to these nets (e.g. the protected nets); default all.
+        """
+        distances: List[float] = []
+        for net_name, net in self.netlist.nets.items():
+            if nets is not None and net_name not in nets:
+                continue
+            if net.driver is None:
+                continue
+            driver_pos = self.placement.gate_positions.get(net.driver[0])
+            if driver_pos is None:
+                continue
+            for sink_gate, _pin in net.sinks:
+                sink_pos = self.placement.gate_positions.get(sink_gate)
+                if sink_pos is not None:
+                    distances.append(manhattan(driver_pos, sink_pos))
+        return distances
+
+    def stats(self) -> Dict[str, float]:
+        """Headline layout statistics."""
+        return {
+            "gates": self.netlist.num_gates,
+            "nets": self.netlist.num_nets,
+            "die_area_um2": round(self.die_area_um2(), 2),
+            "total_wirelength_um": round(self.total_wirelength_um(), 2),
+            "total_vias": self.total_vias(),
+            "protected_nets": len(self.protected_nets),
+        }
+
+
+def build_layout(netlist: Netlist, name: Optional[str] = None,
+                 utilization: float = 0.70,
+                 floorplan: Optional[Floorplan] = None,
+                 placer_config: Optional[PlacerConfig] = None,
+                 router_config: Optional[RouterConfig] = None,
+                 min_layer_per_net: Optional[Mapping[str, int]] = None,
+                 seed: int = 0) -> Layout:
+    """Run the full (unprotected) physical-design flow on ``netlist``.
+
+    Args:
+        netlist: Design to place and route.
+        name: Layout name; defaults to ``<netlist name>_original``.
+        utilization: Core utilization for the floorplan.
+        floorplan: Reuse an existing floorplan (for apples-to-apples area).
+        placer_config / router_config: Tool knobs.
+        min_layer_per_net: Optional per-net lift floor (used by the
+            naive-lifting baseline).
+        seed: Placement seed.
+
+    Returns:
+        A routed :class:`Layout`.
+    """
+    placer_config = placer_config if placer_config is not None else PlacerConfig(seed=seed)
+    if floorplan is None:
+        floorplan = build_floorplan(netlist, utilization)
+    placement = place(netlist, floorplan, utilization, placer_config)
+    routing = route(netlist, placement, router_config, min_layer_per_net)
+    return Layout(
+        name=name if name is not None else f"{netlist.name}_original",
+        netlist=netlist,
+        placement=placement,
+        routing=routing,
+        metadata={"utilization": utilization, "seed": seed},
+    )

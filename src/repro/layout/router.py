@@ -1,0 +1,353 @@
+"""Global routing with length-driven layer assignment.
+
+The router stands in for Innovus' global/detailed routing.  It works on the
+star decomposition of each net (driver pin → one 2-pin connection per sink)
+and produces, per connection:
+
+* an **(H, V) layer pair** chosen from the 10-layer stack by connection
+  length — short nets stay on M2/M3, progressively longer nets are promoted
+  to M4/M5, M6/M7 and M8/M9, matching the behaviour of commercial routers
+  (and the paper's Fig. 5 observation that original layouts keep most wiring
+  in the lower layers);
+* **wire segments** on those layers following an L/Z pattern whose number of
+  jogs grows with length;
+* **vias**: a stack from the M1 pins up to the connection's H layer at each
+  endpoint plus one H↔V via per bend.  Via stacks at a net's driver are
+  shared between the net's connections (counted once at the highest layer
+  any connection needs).
+
+Protected / lifted nets are routed with a *minimum layer* floor (M6 or M8 —
+the correction-cell pin layer), which is how the paper's correction and
+naive-lifting cells keep the affected wiring in the BEOL.
+
+The router is congestion-oblivious; the paper sizes its layouts so that they
+are congestion-free, and none of the reproduced metrics depend on detailed
+track assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.layout.floorplan import Floorplan
+from repro.layout.geometry import Point, manhattan
+from repro.layout.placer import PlacementResult
+from repro.netlist.cells import NUM_METAL_LAYERS
+from repro.netlist.netlist import Netlist
+
+#: A sink reference: either a gate input pin ("gate", "pin") or a primary
+#: output ("PO", name).
+SinkRef = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A straight routed wire piece on one metal layer."""
+
+    layer: int
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    @property
+    def length(self) -> float:
+        return abs(self.x2 - self.x1) + abs(self.y2 - self.y1)
+
+
+@dataclass(frozen=True)
+class Via:
+    """A via between two *adjacent* metal layers at (x, y)."""
+
+    x: float
+    y: float
+    lower: int
+    upper: int
+
+    def __post_init__(self) -> None:
+        if self.upper != self.lower + 1:
+            raise ValueError("Via must span adjacent layers")
+
+
+@dataclass
+class RoutedConnection:
+    """One routed driver→sink 2-pin connection."""
+
+    net: str
+    sink: SinkRef
+    source: Point
+    target: Point
+    h_layer: int
+    v_layer: int
+    segments: List[Segment] = field(default_factory=list)
+    #: Bend vias (H↔V) plus the sink-side pin-to-H via stack.
+    vias: List[Via] = field(default_factory=list)
+    #: Point the FEOL dangling stub appears to head towards.  For honest
+    #: layouts this is the true partner; for the protected layout it is the
+    #: erroneous partner the FEOL was placed and routed for.
+    source_hint: Optional[Point] = None
+    target_hint: Optional[Point] = None
+    #: True when this connection was randomized by the defense and restored
+    #: through the BEOL (set by ``repro.core.restore``).
+    protected: bool = False
+
+    @property
+    def length(self) -> float:
+        return sum(segment.length for segment in self.segments)
+
+    @property
+    def top_layer(self) -> int:
+        layers = [s.layer for s in self.segments] + [v.upper for v in self.vias]
+        return max(layers) if layers else 1
+
+
+@dataclass
+class RoutedNet:
+    """All routed connections of one net plus the shared driver via stack."""
+
+    name: str
+    driver_point: Optional[Point]
+    connections: List[RoutedConnection] = field(default_factory=list)
+    driver_vias: List[Via] = field(default_factory=list)
+
+    @property
+    def length(self) -> float:
+        return sum(connection.length for connection in self.connections)
+
+    def all_vias(self) -> Iterable[Via]:
+        yield from self.driver_vias
+        for connection in self.connections:
+            yield from connection.vias
+
+    def all_segments(self) -> Iterable[Segment]:
+        for connection in self.connections:
+            yield from connection.segments
+
+    def wirelength_by_layer(self) -> Dict[int, float]:
+        result: Dict[int, float] = {}
+        for segment in self.all_segments():
+            result[segment.layer] = result.get(segment.layer, 0.0) + segment.length
+        return result
+
+    def via_counts(self) -> Dict[Tuple[int, int], int]:
+        result: Dict[Tuple[int, int], int] = {}
+        for via in self.all_vias():
+            key = (via.lower, via.upper)
+            result[key] = result.get(key, 0) + 1
+        return result
+
+    @property
+    def top_layer(self) -> int:
+        top = 1
+        for connection in self.connections:
+            top = max(top, connection.top_layer)
+        for via in self.driver_vias:
+            top = max(top, via.upper)
+        return top
+
+
+@dataclass
+class RouterConfig:
+    """Routing policy knobs.
+
+    Attributes:
+        layer_pairs: (H, V) pairs in order of increasing preference for longer
+            connections.
+        length_thresholds: Fractions of the die half-perimeter; connection i
+            uses pair i when its length is below ``length_thresholds[i]``
+            (the last pair takes everything longer).
+        jog_pitch_fraction: One extra jog (Z-bend) is inserted per this
+            fraction of the die half-perimeter of connection length.
+        lift_escalation_fraction: Lifted connections longer than this fraction
+            of the die half-perimeter are promoted one layer pair above the
+            lift layer (models the detour routing the restored BEOL wiring
+            needs on large designs).
+        pin_layer: Layer standard-cell pins live on (M1).
+    """
+
+    layer_pairs: Tuple[Tuple[int, int], ...] = ((2, 3), (4, 5), (6, 7), (8, 9), (9, 10))
+    length_thresholds: Tuple[float, ...] = (0.18, 0.40, 0.65, 0.85)
+    jog_pitch_fraction: float = 0.22
+    lift_escalation_fraction: float = 0.40
+    pin_layer: int = 1
+
+    def pair_for_length(self, length: float, half_perimeter: float) -> Tuple[int, int]:
+        """Pick the (H, V) pair for an unconstrained connection."""
+        if half_perimeter <= 0:
+            return self.layer_pairs[0]
+        ratio = length / half_perimeter
+        for pair, threshold in zip(self.layer_pairs, self.length_thresholds):
+            if ratio < threshold:
+                return pair
+        return self.layer_pairs[-1]
+
+    def pair_for_lifted(self, length: float, half_perimeter: float,
+                        lift_layer: int) -> Tuple[int, int]:
+        """Pick the (H, V) pair for a connection lifted to ``lift_layer``.
+
+        The lift layer is a *floor*: a connection long enough to deserve a
+        higher pair anyway keeps that higher pair, and very long lifted
+        connections are promoted one layer above the lift layer (detour
+        routing of the restored BEOL wiring).
+        """
+        natural_h, _natural_v = self.pair_for_length(length, half_perimeter)
+        h_layer = max(natural_h, lift_layer)
+        if half_perimeter > 0 and length / half_perimeter >= self.lift_escalation_fraction:
+            h_layer = max(h_layer, min(lift_layer + 1, NUM_METAL_LAYERS - 1))
+        v_layer = min(h_layer + 1, NUM_METAL_LAYERS)
+        return (h_layer, v_layer)
+
+    def num_jogs(self, length: float, half_perimeter: float) -> int:
+        """Number of bends in the route (at least one for non-degenerate L)."""
+        if half_perimeter <= 0:
+            return 1
+        return 1 + int(length / (self.jog_pitch_fraction * half_perimeter))
+
+
+def _via_stack(x: float, y: float, from_layer: int, to_layer: int) -> List[Via]:
+    """Vias stacking straight up from ``from_layer`` to ``to_layer`` at (x, y)."""
+    return [Via(x, y, layer, layer + 1) for layer in range(from_layer, to_layer)]
+
+
+def route_connection(net: str, sink: SinkRef, source: Point, target: Point,
+                     pair: Tuple[int, int], config: RouterConfig,
+                     half_perimeter: float,
+                     source_hint: Optional[Point] = None,
+                     target_hint: Optional[Point] = None) -> RoutedConnection:
+    """Route a single 2-pin connection on layer pair ``pair``.
+
+    The route runs in a staircase of ``num_jogs`` steps between ``source`` and
+    ``target``; horizontal pieces go on ``pair[0]``, vertical pieces on
+    ``pair[1]``, with one via per direction change.  The sink-side via stack
+    (pin layer up to the H layer) is included; the driver-side stack is the
+    caller's responsibility because it is shared between a net's connections.
+    """
+    h_layer, v_layer = pair
+    length = manhattan(source, target)
+    jogs = max(1, config.num_jogs(length, half_perimeter))
+    segments: List[Segment] = []
+    vias: List[Via] = []
+
+    dx = target.x - source.x
+    dy = target.y - source.y
+    if abs(dx) < 1e-9 and abs(dy) < 1e-9:
+        # Same location: no lateral routing, only the sink via stack below.
+        pass
+    elif abs(dx) < 1e-9 or abs(dy) < 1e-9:
+        layer = h_layer if abs(dy) < 1e-9 else v_layer
+        segments.append(Segment(layer, source.x, source.y, target.x, target.y))
+    else:
+        # Staircase with `jogs` direction changes.
+        x, y = source.x, source.y
+        steps = jogs + 1
+        for step in range(steps):
+            frac_next = (step + 1) / steps
+            if step % 2 == 0:
+                new_x = source.x + dx * frac_next
+                segments.append(Segment(h_layer, x, y, new_x, y))
+                x = new_x
+            else:
+                new_y = source.y + dy * frac_next
+                segments.append(Segment(v_layer, x, y, x, new_y))
+                y = new_y
+            if step < steps - 1:
+                vias.append(Via(x, y, h_layer, v_layer))
+        # Close any remaining offset in the non-final direction.
+        if abs(x - target.x) > 1e-9:
+            segments.append(Segment(h_layer, x, y, target.x, y))
+            vias.append(Via(x, y, h_layer, v_layer))
+            x = target.x
+        if abs(y - target.y) > 1e-9:
+            segments.append(Segment(v_layer, x, y, x, target.y))
+            vias.append(Via(x, y, h_layer, v_layer))
+            y = target.y
+
+    # Sink pin stack from the pin layer up to the H layer of the pair.
+    vias.extend(_via_stack(target.x, target.y, config.pin_layer, h_layer))
+
+    return RoutedConnection(
+        net=net,
+        sink=sink,
+        source=source,
+        target=target,
+        h_layer=h_layer,
+        v_layer=v_layer,
+        segments=segments,
+        vias=vias,
+        source_hint=source_hint if source_hint is not None else target,
+        target_hint=target_hint if target_hint is not None else source,
+    )
+
+
+def _terminal_position(netlist: Netlist, placement: PlacementResult,
+                       net_name: str) -> Optional[Point]:
+    """Position of a net's driver (gate origin or primary-input pad)."""
+    net = netlist.nets[net_name]
+    if net.driver is not None:
+        return placement.gate_positions.get(net.driver[0])
+    if net.is_primary_input:
+        return placement.port_positions.get(net_name)
+    return None
+
+
+def route(netlist: Netlist, placement: PlacementResult,
+          config: Optional[RouterConfig] = None,
+          min_layer_per_net: Optional[Mapping[str, int]] = None) -> Dict[str, RoutedNet]:
+    """Route every net of ``netlist`` over ``placement``.
+
+    Args:
+        netlist: The design to route.
+        placement: Gate and I/O positions from :func:`repro.layout.placer.place`.
+        config: Router policy (default :class:`RouterConfig`).
+        min_layer_per_net: Optional mapping net name → lift layer; listed nets
+            are routed with that layer as a floor (correction / naive-lifting
+            cells).
+
+    Returns:
+        Mapping net name → :class:`RoutedNet`.  Nets without a placed driver
+        or without sinks are skipped.
+    """
+    config = config if config is not None else RouterConfig()
+    min_layer_per_net = min_layer_per_net or {}
+    half_perimeter = placement.floorplan.half_perimeter_um
+    routed: Dict[str, RoutedNet] = {}
+
+    for net_name, net in netlist.nets.items():
+        source = _terminal_position(netlist, placement, net_name)
+        if source is None:
+            continue
+        targets: List[Tuple[SinkRef, Point]] = []
+        for sink_gate, sink_pin in net.sinks:
+            pos = placement.gate_positions.get(sink_gate)
+            if pos is not None:
+                targets.append(((sink_gate, sink_pin), pos))
+        for po in net.primary_outputs:
+            pos = placement.port_positions.get(po)
+            if pos is not None:
+                targets.append((("PO", po), pos))
+        if not targets:
+            continue
+
+        routed_net = RoutedNet(name=net_name, driver_point=source)
+        lift_layer = min_layer_per_net.get(net_name)
+        max_h_layer = config.pin_layer
+        for sink_ref, target in targets:
+            length = manhattan(source, target)
+            if lift_layer is not None:
+                pair = config.pair_for_lifted(length, half_perimeter, lift_layer)
+            else:
+                pair = config.pair_for_length(length, half_perimeter)
+            connection = route_connection(
+                net_name, sink_ref, source, target, pair, config, half_perimeter
+            )
+            routed_net.connections.append(connection)
+            max_h_layer = max(max_h_layer, pair[0])
+        # Driver pin via stack, shared by all connections of the net, reaches
+        # the highest H layer any connection uses.
+        if net.driver is not None or net.is_primary_input:
+            routed_net.driver_vias = _via_stack(
+                source.x, source.y, config.pin_layer, max_h_layer
+            )
+        routed[net_name] = routed_net
+    return routed

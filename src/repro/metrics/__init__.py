@@ -1,0 +1,38 @@
+"""Security and layout metrics used throughout the paper's evaluation.
+
+* :mod:`repro.metrics.security` — correct connection rate (CCR), output error
+  rate (OER) and Hamming distance (HD) of an attack's recovered netlist;
+* :mod:`repro.metrics.distances` — statistics of the distances between truly
+  connected gates (Table 1 / Fig. 4);
+* :mod:`repro.metrics.wirelength` — per-metal-layer wirelength breakdown for
+  a set of nets (Fig. 5);
+* :mod:`repro.metrics.vias` — additional-via comparisons between layouts
+  (Tables 2 and 6);
+* :mod:`repro.metrics.ppa` — area/power/delay overhead comparisons (Fig. 6);
+* :mod:`repro.metrics.solution_space` — solution-space estimates from the
+  routing-centric attack's candidate lists (Sec. 2 footnote).
+"""
+
+from repro.metrics.security import SecurityReport, correct_connection_rate, evaluate_attack
+from repro.metrics.distances import DistanceStats, distance_stats
+from repro.metrics.wirelength import wirelength_share_by_layer
+from repro.metrics.vias import via_delta_percent, via_table
+from repro.metrics.ppa import ppa_overheads
+from repro.metrics.solution_space import (
+    log10_num_perfect_matchings,
+    log10_solution_space_from_candidates,
+)
+
+__all__ = [
+    "SecurityReport",
+    "correct_connection_rate",
+    "evaluate_attack",
+    "DistanceStats",
+    "distance_stats",
+    "wirelength_share_by_layer",
+    "via_delta_percent",
+    "via_table",
+    "ppa_overheads",
+    "log10_num_perfect_matchings",
+    "log10_solution_space_from_candidates",
+]

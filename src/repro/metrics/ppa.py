@@ -1,0 +1,25 @@
+"""Area / power / delay overhead comparisons (paper Sec. 5.3 / Fig. 6)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.flow import PPAReport, evaluate_ppa
+from repro.layout.layout import Layout
+
+
+def ppa_overheads(layout: Layout, baseline: Layout) -> Dict[str, float]:
+    """Percentage area / power / delay / wirelength overheads versus ``baseline``.
+
+    Both layouts are measured with the same STA and power models; the area is
+    the die-outline area (the paper's area metric — correction cells occupy no
+    device area, so a shared floorplan yields exactly 0 %).
+    """
+    ours = evaluate_ppa(layout)
+    base = evaluate_ppa(baseline)
+    return ours.overhead_vs(base)
+
+
+def ppa_report(layout: Layout) -> PPAReport:
+    """Convenience re-export of :func:`repro.core.flow.evaluate_ppa`."""
+    return evaluate_ppa(layout)

@@ -1,0 +1,99 @@
+"""Security metrics: CCR, OER and HD (paper Sec. 2).
+
+* **CCR** (correct connection rate): the ratio of successfully recovered
+  driver→sink connections over all connections the attack had to recover.
+  The paper reports CCR over the *protected* (randomized) nets for its own
+  scheme and over all cut nets for unprotected layouts; both variants are
+  supported via the ``restrict_to_protected`` flag.
+* **OER** (output error rate): probability that the recovered netlist
+  produces at least one wrong output bit for a random pattern.
+* **HD** (Hamming distance): average fraction of output bits that differ
+  between the original and the recovered netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.netlist.netlist import Netlist
+from repro.netlist.simulate import hamming_distance, output_error_rate
+from repro.sm.split import FEOLView
+
+
+@dataclass
+class SecurityReport:
+    """CCR / OER / HD of one attack run, all in percent."""
+
+    ccr_percent: float
+    oer_percent: float
+    hd_percent: float
+    num_connections_scored: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "ccr_percent": self.ccr_percent,
+            "oer_percent": self.oer_percent,
+            "hd_percent": self.hd_percent,
+            "num_connections_scored": self.num_connections_scored,
+        }
+
+
+def correct_connection_rate(view: FEOLView, assignment: Mapping[int, int],
+                            restrict_to_protected: bool = False) -> float:
+    """CCR (in percent) of a sink→driver assignment against the ground truth.
+
+    Args:
+        view: The attacked FEOL view (carries the ground truth).
+        assignment: Mapping sink-vpin id → driver-vpin id chosen by the attack.
+        restrict_to_protected: Score only the connections belonging to nets
+            the defense randomized (the paper's headline CCR for its scheme);
+            when the layout has no protected nets all cut connections are
+            scored regardless of this flag.
+    """
+    connections = view.open_connections
+    if restrict_to_protected and any(c.protected for c in connections):
+        connections = [c for c in connections if c.protected]
+    if not connections:
+        return 0.0
+    driver_nets = view.driver_vpin_nets()
+    correct = 0
+    for connection in connections:
+        assigned = assignment.get(connection.sink_vpin)
+        if assigned is None:
+            continue
+        # A connection is recovered when the sink is attached to the right
+        # *net*; multi-fanout nets expose several driver-side vias and any of
+        # them restores the correct connectivity.
+        if assigned == connection.driver_vpin or driver_nets.get(assigned) == connection.net:
+            correct += 1
+    return 100.0 * correct / len(connections)
+
+
+def evaluate_attack(view: FEOLView, assignment: Mapping[int, int],
+                    recovered_netlist: Optional[Netlist],
+                    restrict_to_protected: bool = False,
+                    num_patterns: int = 2048,
+                    seed: int = 0) -> SecurityReport:
+    """Compute the full CCR / OER / HD report for one attack run.
+
+    The OER and HD compare the layout's true netlist against the attacker's
+    recovered netlist; when no recovered netlist is available (e.g. the
+    routing-centric attack) they are reported as 0.
+    """
+    ccr = correct_connection_rate(view, assignment, restrict_to_protected)
+    connections = view.open_connections
+    if restrict_to_protected and any(c.protected for c in connections):
+        connections = [c for c in connections if c.protected]
+    oer = 0.0
+    hd = 0.0
+    if recovered_netlist is not None:
+        reference = view.layout.netlist
+        oer = output_error_rate(reference, recovered_netlist, num_patterns, seed)
+        hd = hamming_distance(reference, recovered_netlist, num_patterns, seed)
+    return SecurityReport(
+        ccr_percent=ccr,
+        oer_percent=oer,
+        hd_percent=hd,
+        num_connections_scored=len(connections),
+    )

@@ -1,0 +1,44 @@
+"""Solution-space estimates (paper Sec. 2, footnote 2).
+
+The paper illustrates the attacker's search space with two quantities:
+
+* the number of perfect matchings of a complete bipartite graph between the
+  open drivers and sinks (``n!`` for ``n`` two-pin nets), and
+* the reduction achieved by a routing-centric attack, ``E[LS] ** n`` — the
+  product of the per-vpin candidate-list sizes.
+
+Both numbers are astronomically large, so they are reported as log10 values.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def log10_num_perfect_matchings(num_connections: int) -> float:
+    """log10 of n! — the unconstrained solution-space size for n two-pin nets."""
+    if num_connections < 0:
+        raise ValueError("num_connections must be non-negative")
+    return math.lgamma(num_connections + 1) / math.log(10.0)
+
+
+def log10_solution_space_from_candidates(candidate_counts: Sequence[int]) -> float:
+    """log10 of the product of candidate-list sizes (0-candidate lists count as 1).
+
+    This is the upper bound on the number of netlists consistent with a
+    routing-centric attack's candidate lists; the paper's example computes
+    1.4**500 ≈ 1e73 from an average list size of 1.4 over 500 nets.
+    """
+    total = 0.0
+    for count in candidate_counts:
+        total += math.log10(max(count, 1))
+    return total
+
+
+def log10_solution_space_from_expected_list_size(expected_list_size: float,
+                                                 num_connections: int) -> float:
+    """log10 of ``E[LS] ** n`` (the paper's footnote-2 approximation)."""
+    if expected_list_size <= 0 or num_connections <= 0:
+        return 0.0
+    return num_connections * math.log10(expected_list_size)

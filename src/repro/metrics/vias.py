@@ -1,0 +1,67 @@
+"""Via-count comparisons between layouts (paper Tables 2 and 6)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.layout.layout import Layout
+from repro.netlist.cells import NUM_METAL_LAYERS
+
+#: Ordered via names, V12 … V910, matching the paper's Table 2 columns.
+VIA_NAMES: List[str] = [f"V{layer}{layer + 1}" for layer in range(1, NUM_METAL_LAYERS)]
+
+
+def via_counts_by_name(layout: Layout) -> Dict[str, int]:
+    """Via counts keyed by the paper's V12 … V910 names."""
+    raw = layout.via_counts()
+    return {
+        f"V{lower}{upper}": raw.get((lower, upper), 0)
+        for lower in range(1, NUM_METAL_LAYERS)
+        for upper in (lower + 1,)
+    }
+
+
+def via_delta_percent(layout: Layout, baseline: Layout) -> Dict[str, float]:
+    """Percentage change in via count per layer pair versus ``baseline``.
+
+    A layer pair with zero vias in the baseline reports 0.0 when the other
+    layout also has none, and 100.0 per additional via otherwise (mirroring
+    how "additional vias" read when the original count is negligible).
+    """
+    ours = via_counts_by_name(layout)
+    base = via_counts_by_name(baseline)
+    deltas: Dict[str, float] = {}
+    for name in VIA_NAMES:
+        base_count = base.get(name, 0)
+        new_count = ours.get(name, 0)
+        if base_count == 0:
+            deltas[name] = 0.0 if new_count == 0 else 100.0 * new_count
+        else:
+            deltas[name] = 100.0 * (new_count - base_count) / base_count
+    return deltas
+
+
+def total_via_delta_percent(layout: Layout, baseline: Layout) -> float:
+    """Percentage change in the total via count versus ``baseline``."""
+    base_total = baseline.total_vias()
+    if base_total == 0:
+        return 0.0
+    return 100.0 * (layout.total_vias() - base_total) / base_total
+
+
+def via_table(original: Layout, lifted: Layout, protected: Layout) -> Dict[str, Dict[str, float]]:
+    """Assemble one benchmark's rows of the paper's Table 2.
+
+    Returns a mapping with the original absolute counts and the lifted /
+    proposed percentage deltas, plus the total-via deltas.
+    """
+    return {
+        "original_counts": {k: float(v) for k, v in via_counts_by_name(original).items()},
+        "lifted_delta_percent": via_delta_percent(lifted, original),
+        "proposed_delta_percent": via_delta_percent(protected, original),
+        "totals": {
+            "original_total": float(original.total_vias()),
+            "lifted_total_delta_percent": total_via_delta_percent(lifted, original),
+            "proposed_total_delta_percent": total_via_delta_percent(protected, original),
+        },
+    }

@@ -1,0 +1,228 @@
+"""Graph views of a netlist: DAG construction, loops, reachability.
+
+The randomizer must guarantee that no driver→sink swap introduces a
+combinational loop (the paper notes that loops would reveal the modification
+to an attacker, as the network-flow attack explicitly excludes loop-forming
+candidates).  These helpers provide:
+
+* :func:`netlist_to_digraph` — a :class:`networkx.DiGraph` whose nodes are
+  gate names (plus pseudo nodes for primary inputs/outputs);
+* :func:`has_combinational_loop` / :func:`combinational_loops` — cycle checks
+  restricted to combinational cells (flip-flops break cycles);
+* :func:`transitive_fanin` / :func:`transitive_fanout` — reachability sets
+  used both by the randomizer (fast loop pre-check) and by the attack's
+  loop-avoidance hint;
+* :func:`topological_gate_order` — evaluation order for simulation and STA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+import networkx as nx
+
+from repro.netlist.netlist import Netlist
+
+#: Prefix for pseudo-nodes representing primary inputs/outputs in graph views.
+PI_PREFIX = "PI::"
+PO_PREFIX = "PO::"
+
+
+def netlist_to_digraph(netlist: Netlist, include_ports: bool = False) -> nx.DiGraph:
+    """Build a gate-level directed graph of ``netlist``.
+
+    Nodes are gate names; an edge ``u → v`` exists when an output net of gate
+    ``u`` feeds an input pin of gate ``v``.  Sequential cells are included as
+    nodes but — by construction of the callers — their edges are treated as
+    cut points when checking for *combinational* loops (see
+    :func:`combinational_loops`).
+
+    Args:
+        netlist: The netlist to convert.
+        include_ports: When True, primary inputs/outputs are added as pseudo
+            nodes named ``PI::<name>`` / ``PO::<name>`` with corresponding
+            edges, which is convenient for plotting and path queries.
+    """
+    graph = nx.DiGraph()
+    for gate_name, gate in netlist.gates.items():
+        graph.add_node(gate_name, cell=gate.cell.name, sequential=gate.cell.is_sequential)
+    if include_ports:
+        for pi in netlist.primary_inputs:
+            graph.add_node(PI_PREFIX + pi, cell="__PI__", sequential=False)
+        for po in netlist.primary_outputs:
+            graph.add_node(PO_PREFIX + po, cell="__PO__", sequential=False)
+
+    for net in netlist.nets.values():
+        driver = net.driver
+        if driver is None:
+            if not net.is_primary_input or not include_ports:
+                driver_node = None
+            else:
+                driver_node = PI_PREFIX + net.name
+        else:
+            driver_node = driver[0]
+        if driver_node is None and not include_ports:
+            # Net driven by a primary input (or floating): no gate-to-gate edge.
+            continue
+        for sink_gate, _pin in net.sinks:
+            if driver_node is not None:
+                graph.add_edge(driver_node, sink_gate, net=net.name)
+        if include_ports:
+            for po in net.primary_outputs:
+                if driver_node is not None:
+                    graph.add_edge(driver_node, PO_PREFIX + po, net=net.name)
+    return graph
+
+
+def _combinational_subgraph(netlist: Netlist, graph: Optional[nx.DiGraph] = None) -> nx.DiGraph:
+    """Return the gate graph with sequential cells removed (cycle cut points)."""
+    if graph is None:
+        graph = netlist_to_digraph(netlist)
+    sequential = [n for n, data in graph.nodes(data=True) if data.get("sequential")]
+    if not sequential:
+        return graph
+    sub = graph.copy()
+    sub.remove_nodes_from(sequential)
+    return sub
+
+
+def combinational_loops(netlist: Netlist) -> List[List[str]]:
+    """Return a list of combinational cycles (each a list of gate names).
+
+    Sequential cells legitimately close feedback paths and are excluded.  An
+    empty list means the combinational portion of the design is acyclic.
+    """
+    sub = _combinational_subgraph(netlist)
+    try:
+        cycle = nx.find_cycle(sub, orientation="original")
+    except nx.NetworkXNoCycle:
+        return []
+    # Report the single cycle found; enumerating all simple cycles can blow up
+    # and callers only need to know *whether* and *where* a loop exists.
+    return [[edge[0] for edge in cycle]]
+
+
+def has_combinational_loop(netlist: Netlist) -> bool:
+    """True when the combinational portion of ``netlist`` contains a cycle."""
+    sub = _combinational_subgraph(netlist)
+    return not nx.is_directed_acyclic_graph(sub)
+
+
+def transitive_fanout(netlist: Netlist, gate_name: str,
+                      graph: Optional[nx.DiGraph] = None) -> Set[str]:
+    """Return all gates reachable downstream of ``gate_name`` (exclusive)."""
+    if graph is None:
+        graph = netlist_to_digraph(netlist)
+    if gate_name not in graph:
+        return set()
+    return set(nx.descendants(graph, gate_name))
+
+
+def transitive_fanin(netlist: Netlist, gate_name: str,
+                     graph: Optional[nx.DiGraph] = None) -> Set[str]:
+    """Return all gates in the upstream cone of ``gate_name`` (exclusive)."""
+    if graph is None:
+        graph = netlist_to_digraph(netlist)
+    if gate_name not in graph:
+        return set()
+    return set(nx.ancestors(graph, gate_name))
+
+
+def topological_gate_order(netlist: Netlist) -> List[str]:
+    """Return gate names in a valid combinational evaluation order.
+
+    Sequential cells are placed first (their outputs act as pseudo-primary
+    inputs for the combinational logic they feed).  Raises
+    :class:`networkx.NetworkXUnfeasible` if the combinational logic is cyclic.
+    """
+    graph = netlist_to_digraph(netlist)
+    sequential = [n for n, data in graph.nodes(data=True) if data.get("sequential")]
+    comb = graph.copy()
+    comb.remove_nodes_from(sequential)
+    order = list(nx.topological_sort(comb))
+    return sequential + order
+
+
+def pseudo_topological_order(netlist: Netlist) -> List[str]:
+    """Evaluation order that tolerates combinational loops.
+
+    Attack-recovered netlists can accidentally contain combinational cycles.
+    To still be able to simulate them (and measure their OER/HD), cycles are
+    broken greedily: gates are peeled off in Kahn order and, when only cyclic
+    gates remain, the gate with the fewest unresolved fan-ins is emitted next
+    (its unresolved inputs will read as the simulator's default value).
+    """
+    graph = netlist_to_digraph(netlist)
+    sequential = [n for n, data in graph.nodes(data=True) if data.get("sequential")]
+    comb = graph.copy()
+    comb.remove_nodes_from(sequential)
+    in_degree = dict(comb.in_degree())
+    ready = sorted((n for n, d in in_degree.items() if d == 0), reverse=True)
+    scheduled = set(ready)
+    order: List[str] = []
+    while len(order) < comb.number_of_nodes():
+        if not ready:
+            # Break a cycle: pick the unscheduled gate with the fewest open fanins.
+            victim = min(
+                (n for n in in_degree if n not in scheduled),
+                key=lambda n: (in_degree[n], n),
+            )
+            scheduled.add(victim)
+            ready.append(victim)
+        gate = ready.pop()
+        order.append(gate)
+        for succ in comb.successors(gate):
+            if succ in scheduled:
+                continue
+            in_degree[succ] -= 1
+            if in_degree[succ] <= 0:
+                scheduled.add(succ)
+                ready.append(succ)
+    return sequential + order
+
+
+def logic_depth(netlist: Netlist) -> int:
+    """Return the maximum combinational depth (number of gates on the longest path)."""
+    sub = _combinational_subgraph(netlist)
+    if sub.number_of_nodes() == 0:
+        return 0
+    return nx.dag_longest_path_length(sub) + 1
+
+
+def gate_levels(netlist: Netlist) -> Dict[str, int]:
+    """Return the topological level (longest distance from any input) per gate."""
+    sub = _combinational_subgraph(netlist)
+    levels: Dict[str, int] = {}
+    for gate in nx.topological_sort(sub):
+        preds = list(sub.predecessors(gate))
+        levels[gate] = 0 if not preds else 1 + max(levels[p] for p in preds)
+    # Sequential gates sit at level 0 (treated as pseudo inputs).
+    for gate_name, gate in netlist.gates.items():
+        if gate.cell.is_sequential:
+            levels.setdefault(gate_name, 0)
+    return levels
+
+
+def would_create_loop(netlist: Netlist, driver_gate: Optional[str],
+                      sink_gate: str, graph: Optional[nx.DiGraph] = None) -> bool:
+    """Check whether connecting ``driver_gate`` output to an input of ``sink_gate``
+    would create a combinational loop.
+
+    ``driver_gate`` may be ``None`` (primary-input driver), which can never
+    create a loop.  The check is a reachability query: a loop appears iff
+    ``driver_gate`` is reachable *from* ``sink_gate``, or they are the same
+    combinational gate.
+    """
+    if driver_gate is None:
+        return False
+    if driver_gate == sink_gate:
+        return not netlist.gates[sink_gate].cell.is_sequential
+    if netlist.gates[driver_gate].cell.is_sequential:
+        return False
+    if netlist.gates[sink_gate].cell.is_sequential:
+        return False
+    if graph is None:
+        graph = _combinational_subgraph(netlist)
+    if sink_gate not in graph or driver_gate not in graph:
+        return False
+    return nx.has_path(graph, sink_gate, driver_gate)

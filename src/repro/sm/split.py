@@ -1,0 +1,270 @@
+"""FEOL extraction: what an untrusted foundry actually sees.
+
+Given a routed :class:`~repro.layout.layout.Layout` and a split layer, the
+FEOL view contains:
+
+* every placed cell with its library master (the foundry fabricates them);
+* every net whose routing stays at or below the split layer, in full;
+* for every net that crosses the split layer, one **vpin** per open terminal:
+  the via stack position in the topmost FEOL layer, whether it is a driver or
+  a sink terminal, which gate/pin it belongs to, the direction its dangling
+  stub points in, and the electrical facts an attacker can derive from the
+  cell library (pin capacitance, driver strength).
+
+The ground-truth pairing (which sink vpin belongs to which driver vpin) is
+carried alongside for *scoring only* — attack implementations never read it.
+
+A key subtlety for the paper's protected layouts: the FEOL of those layouts
+was placed and routed for the *erroneous* netlist, so the dangling-stub
+directions recorded here point towards the erroneous partners (the
+``source_hint`` / ``target_hint`` fields the protection flow sets), not the
+true ones.  For honest layouts the hints coincide with the true partners.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.layout.geometry import Point
+from repro.layout.layout import Layout
+from repro.layout.router import RoutedConnection
+
+#: Number of discrete compass directions a dangling stub reveals.  A real
+#: stub tells an attacker only the rough heading of the missing wire, so the
+#: direction hint is quantized (Wang et al. use the same kind of coarse
+#: directional information).
+DIRECTION_QUANTIZATION = 8
+
+#: Fraction of the way towards the route's continuation that the dangling
+#: FEOL stub of a cut connection extends.  In a real layout the lower-layer
+#: escape routing and the partially-routed FEOL segments of a cut net carry
+#: it a good part of the way towards its BEOL continuation; the vpin (the via
+#: location in the topmost FEOL layer) therefore sits *between* the owning
+#: cell and the missing partner, which is precisely the proximity leverage
+#: the attacks of Wang et al. and Magaña et al. exploit.  For the paper's
+#: protected layouts the continuation recorded in the FEOL is the *erroneous*
+#: one, so the same mechanism actively misleads the attacker.
+DEFAULT_STUB_FRACTION = 0.47
+
+
+def _quantized_direction(source: Point, towards: Point) -> Optional[Tuple[float, float]]:
+    """Unit vector from ``source`` towards ``towards``, snapped to 8 compass points."""
+    dx = towards.x - source.x
+    dy = towards.y - source.y
+    if abs(dx) < 1e-9 and abs(dy) < 1e-9:
+        return None
+    angle = math.atan2(dy, dx)
+    step = 2.0 * math.pi / DIRECTION_QUANTIZATION
+    snapped = round(angle / step) * step
+    return (math.cos(snapped), math.sin(snapped))
+
+
+@dataclass(frozen=True)
+class VPin:
+    """An open terminal in the topmost FEOL layer."""
+
+    identifier: int
+    kind: str  # "driver" or "sink"
+    position: Point
+    gate: Optional[str]  # owning gate instance; None for an I/O port terminal
+    pin: Optional[str]  # gate pin name, or the port name for I/O terminals
+    cell: Optional[str]  # library cell of the owning gate (attacker knows masters)
+    direction: Optional[Tuple[float, float]]  # dangling-stub heading (unit vector)
+    capacitance_ff: float = 0.0  # sink pin load
+    max_load_ff: float = 0.0  # driver drive capability
+    drive_resistance_kohm: float = 0.0
+    #: FEOL net the open via belongs to.  The attacker can see which dangling
+    #: stubs are electrically connected below the split, so this is an
+    #: observable (opaque) identifier, not ground truth.
+    net: Optional[str] = None
+
+
+@dataclass
+class OpenConnection:
+    """Ground truth for one cut driver→sink connection (scoring only)."""
+
+    net: str
+    driver_vpin: int
+    sink_vpin: int
+    protected: bool
+
+
+@dataclass
+class FEOLView:
+    """Everything below the split layer, as seen by the FEOL foundry."""
+
+    layout: Layout
+    split_layer: int
+    #: Nets fully routed at or below the split layer (attacker sees them whole).
+    visible_nets: Set[str] = field(default_factory=set)
+    #: Nets with at least one connection crossing the split layer.
+    cut_nets: Set[str] = field(default_factory=set)
+    driver_vpins: List[VPin] = field(default_factory=list)
+    sink_vpins: List[VPin] = field(default_factory=list)
+    #: Ground-truth pairing, for scoring only.
+    open_connections: List[OpenConnection] = field(default_factory=list)
+
+    @property
+    def num_vpins(self) -> int:
+        return len(self.driver_vpins) + len(self.sink_vpins)
+
+    def vpins_of_kind(self, kind: str) -> List[VPin]:
+        if kind == "driver":
+            return self.driver_vpins
+        if kind == "sink":
+            return self.sink_vpins
+        raise ValueError(f"unknown vpin kind {kind!r}")
+
+    def true_driver_of_sink(self) -> Dict[int, int]:
+        """Map sink-vpin id → true driver-vpin id (scoring helper)."""
+        return {oc.sink_vpin: oc.driver_vpin for oc in self.open_connections}
+
+    def driver_vpin_nets(self) -> Dict[int, str]:
+        """Map driver-vpin id → the FEOL net it belongs to."""
+        return {
+            vpin.identifier: vpin.net
+            for vpin in self.driver_vpins
+            if vpin.net is not None
+        }
+
+    def protected_sink_vpins(self) -> Set[int]:
+        """Sink vpins belonging to nets the defense randomized."""
+        return {oc.sink_vpin for oc in self.open_connections if oc.protected}
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "split_layer": self.split_layer,
+            "visible_nets": len(self.visible_nets),
+            "cut_nets": len(self.cut_nets),
+            "driver_vpins": len(self.driver_vpins),
+            "sink_vpins": len(self.sink_vpins),
+            "open_connections": len(self.open_connections),
+        }
+
+
+def _connection_is_cut(connection: RoutedConnection, split_layer: int) -> bool:
+    """A connection is cut when its lateral routing runs above the split layer."""
+    return connection.h_layer > split_layer or connection.v_layer > split_layer
+
+
+def _stub_tip(anchor: Point, towards: Optional[Point], stub_fraction: float) -> Point:
+    """Position of the dangling-stub tip: part of the way from ``anchor`` to ``towards``."""
+    if towards is None or stub_fraction <= 0.0:
+        return anchor
+    fraction = min(max(stub_fraction, 0.0), 0.5)
+    return Point(
+        anchor.x + fraction * (towards.x - anchor.x),
+        anchor.y + fraction * (towards.y - anchor.y),
+    )
+
+
+def extract_feol(layout: Layout, split_layer: int,
+                 stub_fraction: float = DEFAULT_STUB_FRACTION) -> FEOLView:
+    """Build the FEOL view of ``layout`` for a split after ``split_layer``.
+
+    Args:
+        layout: A routed layout (original, naively lifted, or protected).
+        split_layer: Topmost FEOL metal layer (e.g. 3 → split after M3).
+        stub_fraction: How far (as a fraction of the distance to the route's
+            FEOL continuation target) the dangling stubs extend; see
+            :data:`DEFAULT_STUB_FRACTION`.  Clamped to [0, 0.5]; 0 places every
+            vpin directly at its cell.
+
+    Returns:
+        A populated :class:`FEOLView`.
+    """
+    if split_layer < 1:
+        raise ValueError("split_layer must be >= 1")
+    view = FEOLView(layout=layout, split_layer=split_layer)
+    netlist = layout.netlist
+    next_id = 0
+
+    for net_name, routed in layout.routing.items():
+        cut_connections = [
+            c for c in routed.connections if _connection_is_cut(c, split_layer)
+        ]
+        if not cut_connections:
+            view.visible_nets.add(net_name)
+            continue
+        view.cut_nets.add(net_name)
+        protected = net_name in layout.protected_nets
+        net = netlist.nets[net_name]
+
+        driver_gate: Optional[str] = None
+        driver_pin: Optional[str] = None
+        driver_cell = None
+        if net.driver is not None:
+            driver_gate, driver_pin = net.driver
+            driver_cell = netlist.gates[driver_gate].cell
+        elif net.is_primary_input:
+            driver_pin = net_name
+        source = routed.driver_point if routed.driver_point is not None else Point(0.0, 0.0)
+
+        for connection in cut_connections:
+            # Driver-side vpin of this connection: one open via per cut
+            # connection on the driver's FEOL trunk, its stub heading where
+            # the FEOL routing of this connection was actually going
+            # (the erroneous partner for protected nets).
+            hint = connection.source_hint
+            driver_position = _stub_tip(source, hint, stub_fraction)
+            driver_vpin = VPin(
+                identifier=next_id,
+                kind="driver",
+                position=driver_position,
+                gate=driver_gate,
+                pin=driver_pin,
+                cell=driver_cell.name if driver_cell is not None else None,
+                direction=(
+                    _quantized_direction(driver_position, hint) if hint is not None else None
+                ),
+                max_load_ff=driver_cell.max_load_ff if driver_cell is not None else 1e9,
+                drive_resistance_kohm=(
+                    driver_cell.drive_resistance_kohm if driver_cell is not None else 0.0
+                ),
+                net=net_name,
+            )
+            next_id += 1
+            view.driver_vpins.append(driver_vpin)
+
+            sink_gate: Optional[str] = None
+            sink_pin: Optional[str] = None
+            sink_cell = None
+            cap = 0.0
+            if connection.sink[0] == "PO":
+                sink_pin = connection.sink[1]
+            else:
+                sink_gate, sink_pin = connection.sink
+                sink_cell = netlist.gates[sink_gate].cell
+                cap = sink_cell.pin(sink_pin).capacitance_ff
+            hint = connection.target_hint
+            sink_position = _stub_tip(connection.target, hint, stub_fraction)
+            sink_vpin = VPin(
+                identifier=next_id,
+                kind="sink",
+                position=sink_position,
+                gate=sink_gate,
+                pin=sink_pin,
+                cell=sink_cell.name if sink_cell is not None else None,
+                direction=(
+                    _quantized_direction(sink_position, hint)
+                    if hint is not None else None
+                ),
+                capacitance_ff=cap,
+                net=net_name,
+            )
+            next_id += 1
+            view.sink_vpins.append(sink_vpin)
+            view.open_connections.append(
+                OpenConnection(
+                    net=net_name,
+                    driver_vpin=driver_vpin.identifier,
+                    sink_vpin=sink_vpin.identifier,
+                    # Only the connections the defense actually randomized are
+                    # scored as "protected"; other (honest) sinks of the same
+                    # net are ordinary cut connections.
+                    protected=protected and connection.protected,
+                )
+            )
+    return view

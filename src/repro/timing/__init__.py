@@ -1,0 +1,19 @@
+"""Timing and power analysis substrate.
+
+Implements a lightweight static timing analysis (Elmore wire delay on top of
+the cell library's drive/intrinsic characteristics) and a switching + leakage
+power model.  These provide the delay and power numbers behind the paper's
+PPA evaluation (Sec. 5.3 / Fig. 6) and the PPA-budget loop of the protection
+flow (Fig. 2).
+"""
+
+from repro.timing.sta import TimingReport, WireModel, static_timing_analysis
+from repro.timing.power import PowerReport, estimate_power
+
+__all__ = [
+    "TimingReport",
+    "WireModel",
+    "static_timing_analysis",
+    "PowerReport",
+    "estimate_power",
+]

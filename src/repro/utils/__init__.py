@@ -1,0 +1,6 @@
+"""Small shared helpers: seeded RNG management and table rendering."""
+
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.tables import Table, format_table
+
+__all__ = ["derive_seed", "make_rng", "Table", "format_table"]

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (the protection flow on a small ISCAS benchmark) are
+built once per session and shared across the attack/metric/integration
+tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import c17_netlist, iscas85_netlist
+from repro.core import ProtectionConfig, protect
+from repro.layout import build_layout
+from repro.netlist.cells import default_library
+
+
+@pytest.fixture(scope="session")
+def library():
+    return default_library()
+
+
+@pytest.fixture()
+def c17():
+    return c17_netlist()
+
+
+@pytest.fixture(scope="session")
+def c432():
+    return iscas85_netlist("c432", seed=1)
+
+
+@pytest.fixture(scope="session")
+def c880():
+    return iscas85_netlist("c880", seed=1)
+
+
+@pytest.fixture(scope="session")
+def c432_layout(c432):
+    return build_layout(c432, seed=1)
+
+
+@pytest.fixture(scope="session")
+def protection_c432(c432):
+    """Full protection-flow artefacts for c432 (shared, read-only)."""
+    config = ProtectionConfig(
+        lift_layer=6,
+        swap_fraction_steps=(0.08,),
+        oer_patterns=512,
+        seed=1,
+    )
+    return protect(c432, config)
+
+
+@pytest.fixture(scope="session")
+def protection_c880(c880):
+    config = ProtectionConfig(
+        lift_layer=6,
+        swap_fraction_steps=(0.08,),
+        oer_patterns=512,
+        seed=1,
+    )
+    return protect(c880, config)

@@ -1,0 +1,149 @@
+"""Tests for the Nangate45-like cell library."""
+
+import pytest
+
+from repro.netlist.cells import (
+    Cell,
+    CellFunctionError,
+    CellLibrary,
+    CellPin,
+    NUM_METAL_LAYERS,
+    default_library,
+    nangate45_library,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return nangate45_library()
+
+
+class TestLibraryContents:
+    def test_basic_cells_present(self, lib):
+        for name in ["INV_X1", "BUF_X2", "NAND2_X1", "NOR2_X1", "XOR2_X1",
+                     "AOI21_X1", "MUX2_X1", "DFF_X1"]:
+            assert name in lib
+
+    def test_correction_cells_present(self, lib):
+        for layer in (6, 8):
+            assert f"CORRECTION_M{layer}" in lib
+            assert f"LIFT_M{layer}" in lib
+
+    def test_unknown_cell_raises(self, lib):
+        with pytest.raises(KeyError):
+            lib["NOT_A_CELL"]
+
+    def test_duplicate_cell_rejected(self, lib):
+        with pytest.raises(ValueError):
+            lib.add(lib["INV_X1"])
+
+    def test_default_library_is_shared(self):
+        assert default_library() is default_library()
+
+    def test_combinational_cells_exclude_special(self, lib):
+        names = {c.name for c in lib.combinational_cells()}
+        assert "DFF_X1" not in names
+        assert "CORRECTION_M6" not in names
+        assert "NAND2_X1" in names
+
+    def test_metal_stack_depth(self):
+        assert NUM_METAL_LAYERS == 10
+
+
+class TestCellProperties:
+    def test_pin_lookup(self, lib):
+        nand = lib["NAND2_X1"]
+        assert nand.pin("A1").is_input()
+        assert nand.pin("ZN").is_output()
+        with pytest.raises(KeyError):
+            nand.pin("nope")
+
+    def test_area_positive_for_standard_cells(self, lib):
+        for cell in lib.combinational_cells():
+            assert cell.area_um2 > 0
+            assert cell.width_um > 0
+
+    def test_correction_cells_have_zero_area(self, lib):
+        assert lib["CORRECTION_M6"].area_um2 == 0.0
+        assert lib["CORRECTION_M6"].beol_only
+
+    def test_correction_cell_pins_in_lift_layer(self, lib):
+        for layer in (6, 8):
+            cell = lib[f"CORRECTION_M{layer}"]
+            assert all(pin.layer == layer for pin in cell.pins)
+
+    def test_standard_cell_pins_in_m1(self, lib):
+        assert all(pin.layer == 1 for pin in lib["NAND2_X1"].pins)
+
+    def test_drive_strength_ordering(self, lib):
+        assert lib["INV_X4"].drive_resistance_kohm < lib["INV_X1"].drive_resistance_kohm
+        assert lib["INV_X4"].max_load_ff > lib["INV_X1"].max_load_ff
+
+    def test_input_capacitance_sums_inputs(self, lib):
+        nand = lib["NAND2_X1"]
+        assert nand.input_capacitance_ff == pytest.approx(
+            sum(p.capacitance_ff for p in nand.input_pins)
+        )
+
+
+class TestCellFunctions:
+    MASK = (1 << 4) - 1
+
+    def test_inverter(self, lib):
+        out = lib["INV_X1"].evaluate({"A": 0b0101}, self.MASK)
+        assert out["ZN"] == 0b1010
+
+    def test_nand2(self, lib):
+        out = lib["NAND2_X1"].evaluate({"A1": 0b1100, "A2": 0b1010}, self.MASK)
+        assert out["ZN"] == (~(0b1100 & 0b1010)) & self.MASK
+
+    def test_nor2(self, lib):
+        out = lib["NOR2_X1"].evaluate({"A1": 0b1100, "A2": 0b1010}, self.MASK)
+        assert out["ZN"] == (~(0b1100 | 0b1010)) & self.MASK
+
+    def test_xor2(self, lib):
+        out = lib["XOR2_X1"].evaluate({"A1": 0b1100, "A2": 0b1010}, self.MASK)
+        assert out["Z"] == 0b0110
+
+    def test_xnor2(self, lib):
+        out = lib["XNOR2_X1"].evaluate({"A1": 0b1100, "A2": 0b1010}, self.MASK)
+        assert out["ZN"] == (~0b0110) & self.MASK
+
+    def test_and4(self, lib):
+        out = lib["AND4_X1"].evaluate(
+            {"A1": 0b1111, "A2": 0b1110, "A3": 0b1101, "A4": 0b1011}, self.MASK
+        )
+        assert out["ZN"] == 0b1000
+
+    def test_aoi21(self, lib):
+        out = lib["AOI21_X1"].evaluate({"A1": 0b1100, "A2": 0b1010, "B": 0b0001}, self.MASK)
+        assert out["ZN"] == (~((0b1100 & 0b1010) | 0b0001)) & self.MASK
+
+    def test_oai21(self, lib):
+        out = lib["OAI21_X1"].evaluate({"A1": 0b1100, "A2": 0b1010, "B": 0b0011}, self.MASK)
+        assert out["ZN"] == (~((0b1100 | 0b1010) & 0b0011)) & self.MASK
+
+    def test_mux2(self, lib):
+        out = lib["MUX2_X1"].evaluate({"A": 0b0011, "B": 0b0101, "S": 0b1100}, self.MASK)
+        assert out["Z"] == ((0b0101 & 0b1100) | (0b0011 & ~0b1100)) & self.MASK
+
+    def test_buffer(self, lib):
+        out = lib["BUF_X2"].evaluate({"A": 0b1001}, self.MASK)
+        assert out["Z"] == 0b1001
+
+    def test_correction_cell_true_paths(self, lib):
+        out = lib["CORRECTION_M6"].evaluate({"C": 0b1010, "D": 0b0110}, self.MASK)
+        assert out["Y"] == 0b1010  # C -> Y
+        assert out["Z"] == 0b0110  # D -> Z
+
+    def test_lift_cell_passthrough(self, lib):
+        out = lib["LIFT_M8"].evaluate({"C": 0b0110}, self.MASK)
+        assert out["Y"] == 0b0110
+
+    def test_missing_input_raises(self, lib):
+        with pytest.raises(CellFunctionError):
+            lib["NAND2_X1"].evaluate({"A1": 1}, self.MASK)
+
+    def test_sequential_cell_has_no_function(self, lib):
+        with pytest.raises(CellFunctionError):
+            lib["DFF_X1"].evaluate({"D": 1, "CK": 1}, self.MASK)

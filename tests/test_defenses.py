@@ -1,0 +1,172 @@
+"""Tests for the prior-art defense baselines."""
+
+import pytest
+
+from repro.defenses import (
+    LayoutRandomizationStrategy,
+    layout_randomization_defense,
+    pin_swapping_defense,
+    placement_perturbation_defense,
+    routing_blockage_defense,
+    routing_perturbation_defense,
+    synergistic_defense,
+)
+from repro.layout.layout import build_layout
+
+
+class TestPlacementPerturbation:
+    def test_layout_valid(self, c432):
+        layout = placement_perturbation_defense(c432, seed=1)
+        assert set(layout.placement.gate_positions) == set(c432.gates)
+        assert layout.metadata["defense"] == "placement_perturbation"
+        assert layout.netlist is c432
+
+    def test_some_gates_moved(self, c432):
+        baseline = build_layout(c432, seed=1)
+        perturbed = placement_perturbation_defense(c432, perturb_fraction=0.2, seed=1)
+        moved = sum(
+            1 for gate in c432.gates
+            if baseline.placement.gate_positions[gate] != perturbed.placement.gate_positions[gate]
+        )
+        assert moved > 0
+        assert moved <= 0.35 * c432.num_gates
+
+    def test_invalid_fraction_rejected(self, c432):
+        with pytest.raises(ValueError):
+            placement_perturbation_defense(c432, perturb_fraction=1.5)
+
+    def test_positions_stay_inside_die(self, c432):
+        layout = placement_perturbation_defense(c432, perturb_fraction=0.5, seed=2)
+        die = layout.floorplan.die
+        for pos in layout.placement.gate_positions.values():
+            assert die.contains(pos, tolerance=1e-6)
+
+
+class TestLayoutRandomization:
+    @pytest.mark.parametrize("strategy", list(LayoutRandomizationStrategy))
+    def test_all_strategies_produce_layouts(self, c432, strategy):
+        layout = layout_randomization_defense(c432, strategy, seed=1)
+        assert layout.metadata["strategy"] == strategy.value
+        assert set(layout.placement.gate_positions) == set(c432.gates)
+
+    def test_g_type2_swaps_within_same_cell(self, c432):
+        baseline = build_layout(c432, seed=1)
+        layout = layout_randomization_defense(
+            c432, LayoutRandomizationStrategy.G_TYPE2, seed=1
+        )
+        # Every position in the randomized layout that moved must now host a
+        # cell of the same master as some baseline cell at that position --
+        # verified indirectly: per-master position multiset is preserved.
+        def master_positions(lay):
+            result = {}
+            for gate, pos in lay.placement.gate_positions.items():
+                result.setdefault(c432.gates[gate].cell.name, set()).add(pos)
+            return result
+
+        assert master_positions(baseline) == master_positions(layout)
+
+    def test_random_strategy_moves_more_than_gtype2(self, c432):
+        baseline = build_layout(c432, seed=1).placement.gate_positions
+        random_moved = sum(
+            1 for g, p in layout_randomization_defense(
+                c432, LayoutRandomizationStrategy.RANDOM, seed=1
+            ).placement.gate_positions.items() if baseline[g] != p
+        )
+        gtype2_moved = sum(
+            1 for g, p in layout_randomization_defense(
+                c432, LayoutRandomizationStrategy.G_TYPE2, seed=1
+            ).placement.gate_positions.items() if baseline[g] != p
+        )
+        assert random_moved >= gtype2_moved
+
+
+class TestPinSwapping:
+    def test_ports_swapped(self, c432):
+        baseline = build_layout(c432, seed=1)
+        layout = pin_swapping_defense(c432, swap_fraction=0.6, seed=1)
+        assert layout.metadata["swapped_ports"]
+        moved = sum(
+            1 for port in baseline.placement.port_positions
+            if baseline.placement.port_positions[port] != layout.placement.port_positions[port]
+        )
+        assert moved >= 2
+
+    def test_gate_positions_untouched(self, c432):
+        baseline = build_layout(c432, seed=1)
+        layout = pin_swapping_defense(c432, seed=1)
+        assert layout.placement.gate_positions == baseline.placement.gate_positions
+
+
+class TestRoutingPerturbation:
+    def test_hints_decoyed(self, c432):
+        layout = routing_perturbation_defense(c432, perturb_fraction=0.4, seed=1)
+        assert layout.metadata["perturbed_nets"] > 0
+        decoys = 0
+        for routed in layout.routing.values():
+            for connection in routed.connections:
+                if connection.source_hint != connection.target:
+                    decoys += 1
+        assert decoys > 0
+
+    def test_netlist_untouched(self, c432):
+        layout = routing_perturbation_defense(c432, seed=1)
+        assert layout.netlist is c432
+        assert layout.protected_nets == set()
+
+
+class TestSynergistic:
+    def test_layout_valid(self, c432):
+        layout = synergistic_defense(c432, seed=1)
+        assert layout.metadata["protected_nets"] > 0
+        assert set(layout.placement.gate_positions) == set(c432.gates)
+
+    def test_combines_placement_and_routing_effects(self, c432):
+        baseline = build_layout(c432, seed=1)
+        layout = synergistic_defense(c432, protect_fraction=0.4, seed=1)
+        moved = sum(
+            1 for gate in c432.gates
+            if baseline.placement.gate_positions[gate] != layout.placement.gate_positions[gate]
+        )
+        assert moved > 0
+
+
+class TestRoutingBlockage:
+    def test_promotes_nets_upwards(self, c432):
+        baseline = build_layout(c432, seed=1)
+        layout = routing_blockage_defense(c432, blockage_probability=0.5, seed=1)
+        assert layout.metadata["blocked_nets"] > 0
+        baseline_vias = baseline.via_counts()
+        blocked_vias = layout.via_counts()
+        high = sum(blocked_vias[(l, l + 1)] for l in range(5, 9))
+        high_baseline = sum(baseline_vias[(l, l + 1)] for l in range(5, 9))
+        assert high > high_baseline
+
+    def test_zero_probability_changes_nothing(self, c432):
+        baseline = build_layout(c432, seed=1)
+        layout = routing_blockage_defense(c432, blockage_probability=0.0, seed=1)
+        assert layout.via_counts() == baseline.via_counts()
+
+    def test_invalid_probability_rejected(self, c432):
+        with pytest.raises(ValueError):
+            routing_blockage_defense(c432, blockage_probability=1.5)
+
+
+class TestDefensesAreWeakerThanProposed:
+    """The comparison that motivates the paper: every baseline leaves a
+    substantially higher CCR than the proposed scheme."""
+
+    def test_placement_perturbation_still_attackable(self, c432, protection_c432):
+        from repro.attacks.network_flow import network_flow_attack
+        from repro.metrics.security import correct_connection_rate
+        from repro.sm.split import extract_feol
+
+        perturbed = placement_perturbation_defense(c432, seed=1)
+        view = extract_feol(perturbed, 4)
+        ccr_perturbed = correct_connection_rate(view, network_flow_attack(view).assignment)
+
+        protected_view = extract_feol(protection_c432.protected_layout, 4)
+        ccr_proposed = correct_connection_rate(
+            protected_view, network_flow_attack(protected_view).assignment,
+            restrict_to_protected=True,
+        )
+        assert ccr_perturbed > ccr_proposed + 20.0

@@ -1,0 +1,58 @@
+"""Tests for the functional-equivalence checker."""
+
+import pytest
+
+from repro.circuits import c17_netlist
+from repro.netlist.equivalence import EXHAUSTIVE_INPUT_LIMIT, check_equivalence
+from repro.netlist.netlist import Netlist
+
+
+class TestEquivalence:
+    def test_identity(self, c432):
+        result = check_equivalence(c432, c432.copy())
+        assert result.equivalent
+        assert bool(result)
+
+    def test_c17_exhaustive(self):
+        c17 = c17_netlist()
+        result = check_equivalence(c17, c17.copy())
+        assert result.equivalent
+        assert result.exhaustive
+        assert result.patterns_checked == 2 ** len(c17.primary_inputs)
+
+    def test_detects_difference_with_counterexample(self):
+        a = Netlist("a")
+        a.add_primary_input("x")
+        a.add_primary_input("y")
+        a.add_gate("g", "AND2_X1", {"A1": "x", "A2": "y", "ZN": "o"})
+        a.add_primary_output("out", "o")
+
+        b = Netlist("b")
+        b.add_primary_input("x")
+        b.add_primary_input("y")
+        b.add_gate("g", "OR2_X1", {"A1": "x", "A2": "y", "ZN": "o"})
+        b.add_primary_output("out", "o")
+
+        result = check_equivalence(a, b)
+        assert not result.equivalent
+        assert result.mismatched_output == "out"
+        assert result.counterexample is not None
+        x = result.counterexample["x"]
+        y = result.counterexample["y"]
+        assert (x & y) != (x | y)  # the counterexample really distinguishes them
+
+    def test_mismatched_output_sets(self, c432):
+        other = c432.copy("other")
+        other.add_net("dangling")
+        other.add_primary_output("extra_po", "dangling")
+        result = check_equivalence(c432, other)
+        assert not result.equivalent
+
+    def test_large_design_uses_random_patterns(self, c880):
+        result = check_equivalence(c880, c880.copy(), num_random_patterns=512)
+        assert result.equivalent
+        assert not result.exhaustive
+        assert result.patterns_checked == 512
+
+    def test_exhaustive_limit_is_reasonable(self):
+        assert 8 <= EXHAUSTIVE_INPUT_LIMIT <= 20

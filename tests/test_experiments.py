@@ -1,0 +1,146 @@
+"""Tests for the experiment harness (small configurations)."""
+
+import pytest
+
+from repro.experiments import paper_data
+from repro.experiments.common import ExperimentConfig, clear_artifact_cache, protection_artifacts
+from repro.experiments import (
+    figure4_distance_distributions,
+    figure5_wirelength_layers,
+    figure6_ppa,
+    headline,
+    table1_distances,
+    table2_vias,
+    table3_crouting,
+    table6_magana,
+)
+from repro.experiments.runner import EXPERIMENTS, quick_config, run_all
+from repro.utils.tables import Table, format_table
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    """A deliberately tiny configuration so experiment code paths run fast."""
+    return ExperimentConfig(
+        iscas_benchmarks=("c432",),
+        superblue_benchmarks=("superblue18",),
+        superblue_scale=0.0015,
+        iscas_split_layers=(4,),
+        num_patterns=256,
+        iscas_swap_fractions=(0.05,),
+        superblue_swap_fractions=(0.02,),
+    )
+
+
+class TestCommon:
+    def test_protection_config_differs_per_family(self, tiny_config):
+        iscas = tiny_config.protection_config("c432")
+        superblue = tiny_config.protection_config("superblue18")
+        assert iscas.lift_layer == 6
+        assert superblue.lift_layer == 8
+        assert superblue.ppa_budget_percent < iscas.ppa_budget_percent
+
+    def test_artifacts_are_cached(self, tiny_config):
+        first = protection_artifacts("c432", tiny_config)
+        second = protection_artifacts("c432", tiny_config)
+        assert first is second
+
+    def test_cache_can_be_cleared(self, tiny_config):
+        first = protection_artifacts("c432", tiny_config)
+        clear_artifact_cache()
+        second = protection_artifacts("c432", tiny_config)
+        assert first is not second
+
+
+class TestExperimentTables:
+    def test_table1(self, tiny_config):
+        table = table1_distances.run(tiny_config)
+        assert isinstance(table, Table)
+        layouts = set(table.column("Layout"))
+        assert {"Original", "Lifted", "Proposed"} <= layouts
+        assert format_table(table)
+
+    def test_table2(self, tiny_config):
+        table = table2_vias.run(tiny_config)
+        assert "V56" in table.columns
+        assert len(table.rows) >= 3
+
+    def test_table3(self, tiny_config):
+        table = table3_crouting.run(tiny_config)
+        assert "#VPins" in table.columns
+        vpins = [row[2] for row in table.rows]
+        assert all(v > 0 for v in vpins)
+
+    def test_table6(self, tiny_config):
+        table = table6_magana.run(tiny_config)
+        assert table.rows[-1][0] == "Average"
+
+    def test_figure4(self, tiny_config):
+        table = figure4_distance_distributions.run(tiny_config, benchmark="superblue18")
+        assert "p50" in table.columns
+        histograms = figure4_distance_distributions.histograms(
+            tiny_config, benchmark="superblue18", num_bins=8
+        )
+        assert set(histograms) == {"original", "lifted", "proposed"}
+        assert all(len(bins) == 8 for bins in histograms.values())
+
+    def test_figure5(self, tiny_config):
+        table = figure5_wirelength_layers.run(tiny_config)
+        proposed_rows = [row for row in table.rows if row[1] == "Proposed"]
+        original_rows = [row for row in table.rows if row[1] == "Original"]
+        # Proposed keeps more of the randomized nets' wiring above the split.
+        assert proposed_rows[0][-1] > original_rows[0][-1]
+
+    def test_figure6(self, tiny_config):
+        table = figure6_ppa.run(tiny_config)
+        assert table.rows[-1][0] == "Average"
+        area_column = table.column("Proposed area")
+        assert all(value == 0.0 for value in area_column)
+
+    def test_headline(self, tiny_config):
+        table = headline.run(tiny_config)
+        rows = {row[0]: row for row in table.rows}
+        assert rows["Proposed"][1] <= 10.0  # CCR near zero
+        assert rows["Original"][1] > 50.0
+
+
+class TestRunner:
+    def test_registry_contains_all_experiments(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "figure4", "figure5", "figure6", "headline",
+        }
+
+    def test_unknown_experiment_rejected(self, tiny_config):
+        with pytest.raises(KeyError):
+            run_all(tiny_config, only=["not_an_experiment"])
+
+    def test_quick_config_is_smaller(self):
+        quick = quick_config()
+        full = ExperimentConfig()
+        assert len(quick.iscas_benchmarks) < len(full.iscas_benchmarks)
+        assert quick.superblue_scale < full.superblue_scale
+
+    def test_run_selected_subset(self, tiny_config):
+        results = run_all(tiny_config, only=["table1"])
+        assert set(results) == {"table1"}
+
+
+class TestPaperData:
+    def test_table1_covers_suite(self):
+        assert set(paper_data.PAPER_TABLE1) == {
+            "superblue1", "superblue5", "superblue10", "superblue12", "superblue18",
+        }
+
+    def test_table4_proposed_is_zero_ccr(self):
+        for values in paper_data.PAPER_TABLE4.values():
+            assert values["proposed"][0] == 0.0
+
+    def test_prior_art_ranking(self):
+        ccr = paper_data.PAPER_PRIOR_ART_AVERAGE_CCR
+        assert ccr["proposed"] < ccr["synergistic_feng"] < ccr["routing_perturbation_wang"]
+        assert ccr["original"] == max(ccr.values())
+
+    def test_headline_values(self):
+        assert paper_data.PAPER_HEADLINE["ccr"] == 0.0
+        assert paper_data.PAPER_HEADLINE["oer"] > 99.0

@@ -1,0 +1,126 @@
+"""Tests for .bench and structural-Verilog I/O."""
+
+import pytest
+
+from repro.circuits import c17_netlist
+from repro.netlist.bench_format import BenchFormatError, parse_bench, write_bench
+from repro.netlist.equivalence import check_equivalence
+from repro.netlist.verilog import (
+    VerilogFormatError,
+    parse_structural_verilog,
+    write_structural_verilog,
+)
+
+
+class TestBenchFormat:
+    def test_parse_c17(self):
+        netlist = c17_netlist()
+        assert netlist.num_gates == 6
+        assert len(netlist.primary_inputs) == 5
+        assert len(netlist.primary_outputs) == 2
+
+    def test_roundtrip_preserves_function(self):
+        original = c17_netlist()
+        text = write_bench(original)
+        reparsed = parse_bench(text, name="c17")
+        assert check_equivalence(original, reparsed).equivalent
+
+    def test_wide_gate_decomposition(self):
+        text = """
+        INPUT(a)
+        INPUT(b)
+        INPUT(c)
+        INPUT(d)
+        INPUT(e)
+        INPUT(f)
+        OUTPUT(y)
+        y = AND(a, b, c, d, e, f)
+        """
+        netlist = parse_bench(text, name="wide")
+        assert netlist.validate() == []
+        # 6-input AND must be split into a tree of <=4-input cells.
+        assert netlist.num_gates >= 2
+
+    def test_xor_chain(self):
+        text = """
+        INPUT(a)
+        INPUT(b)
+        INPUT(c)
+        OUTPUT(y)
+        y = XOR(a, b, c)
+        """
+        netlist = parse_bench(text, name="xor3")
+        assert netlist.validate() == []
+        assert netlist.num_gates == 2
+
+    def test_not_and_buf(self):
+        text = """
+        INPUT(a)
+        OUTPUT(y)
+        OUTPUT(z)
+        y = NOT(a)
+        z = BUFF(a)
+        """
+        netlist = parse_bench(text, name="nb")
+        cells = sorted(g.cell.name for g in netlist.gates.values())
+        assert cells == ["BUF_X1", "INV_X1"]
+
+    def test_dff_supported(self):
+        text = """
+        INPUT(a)
+        OUTPUT(q)
+        q = DFF(a)
+        """
+        netlist = parse_bench(text, name="ff")
+        assert any(g.cell.is_sequential for g in netlist.gates.values())
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# comment\n\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)  # trailing\n"
+        netlist = parse_bench(text, name="c")
+        assert netlist.num_gates == 1
+
+
+class TestVerilog:
+    def test_roundtrip_c17(self):
+        original = c17_netlist()
+        text = write_structural_verilog(original)
+        reparsed = parse_structural_verilog(text)
+        assert reparsed.num_gates == original.num_gates
+        assert check_equivalence(original, reparsed).equivalent
+
+    def test_roundtrip_benchmark_counts(self, c432):
+        text = write_structural_verilog(c432)
+        reparsed = parse_structural_verilog(text)
+        assert reparsed.num_gates == c432.num_gates
+        assert sorted(reparsed.primary_inputs) == sorted(c432.primary_inputs)
+        assert sorted(reparsed.primary_outputs) == sorted(c432.primary_outputs)
+
+    def test_written_text_mentions_module(self, c432):
+        text = write_structural_verilog(c432)
+        assert text.startswith(f"module {c432.name}")
+        assert "endmodule" in text
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(VerilogFormatError):
+            parse_structural_verilog("wire x;")
+
+    def test_unknown_cell_rejected(self):
+        text = "module m (a);\n  input a;\n  FOO_X1 u1 (.A(a));\nendmodule\n"
+        with pytest.raises(VerilogFormatError):
+            parse_structural_verilog(text)
+
+    def test_comments_stripped(self):
+        text = (
+            "// leading comment\nmodule m (a, y);\n  input a;\n  output y;\n"
+            "  /* block */ INV_X1 u1 (.A(a), .ZN(y));\nendmodule\n"
+        )
+        netlist = parse_structural_verilog(text)
+        assert netlist.num_gates == 1
