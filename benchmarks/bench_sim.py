@@ -1,0 +1,390 @@
+"""Micro-benchmarks for the simulation engine and the network-flow attack.
+
+Measures ``simulate``, ``output_error_rate`` / ``hamming_distance`` and the
+attack cost-matrix construction on the seed-equivalent legacy path versus the
+compiled vectorized engine, and writes a ``BENCH_sim.json`` perf-trajectory
+artifact (wall-clock seconds plus derived throughput) so future PRs can track
+regressions::
+
+    PYTHONPATH=src python benchmarks/bench_sim.py            # writes BENCH_sim.json
+    PYTHONPATH=src python benchmarks/bench_sim.py --patterns 16384 --repeat 9
+
+The ``seed_equivalent`` numbers replay the original implementation exactly
+(networkx-based evaluation ordering + per-gate bigint interpretation), so the
+reported speedups are measured against the repository's seed state, not
+against the already-accelerated legacy fallback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import networkx as nx
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.attacks.network_flow import (  # noqa: E402
+    NetworkFlowAttackConfig,
+    _direction_penalty,
+    _visible_reachability,
+    build_cost_matrix,
+    network_flow_attack,
+)
+from repro.circuits import iscas85_netlist  # noqa: E402
+from repro.core import ProtectionConfig, protect  # noqa: E402
+from repro.netlist import engine  # noqa: E402
+from repro.netlist.graph import netlist_to_digraph  # noqa: E402
+from repro.netlist.simulate import (  # noqa: E402
+    _resolved_inputs,
+    _shared_input_patterns,
+    _simulate_legacy,
+    hamming_distance,
+    output_error_rate,
+    simulate,
+)
+from repro.sm.split import extract_feol  # noqa: E402
+
+
+def _timeit(fn: Callable[[], object], repeat: int) -> float:
+    """Median wall-clock seconds of ``repeat`` runs of ``fn``."""
+    samples: List[float] = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+# ---------------------------------------------------------------------------
+# Seed-equivalent reference implementations (the pre-engine hot paths).
+# ---------------------------------------------------------------------------
+
+
+def _seed_pseudo_topological_order(netlist) -> List[str]:
+    """The seed's networkx-based evaluation ordering."""
+    graph = netlist_to_digraph(netlist)
+    sequential = [n for n, data in graph.nodes(data=True) if data.get("sequential")]
+    comb = graph.copy()
+    comb.remove_nodes_from(sequential)
+    in_degree = dict(comb.in_degree())
+    ready = sorted((n for n, d in in_degree.items() if d == 0), reverse=True)
+    scheduled = set(ready)
+    order: List[str] = []
+    while len(order) < comb.number_of_nodes():
+        if not ready:
+            victim = min(
+                (n for n in in_degree if n not in scheduled),
+                key=lambda n: (in_degree[n], n),
+            )
+            scheduled.add(victim)
+            ready.append(victim)
+        gate = ready.pop()
+        order.append(gate)
+        for succ in comb.successors(gate):
+            if succ in scheduled:
+                continue
+            in_degree[succ] -= 1
+            if in_degree[succ] <= 0:
+                scheduled.add(succ)
+                ready.append(succ)
+    return sequential + order
+
+
+def _seed_simulate(netlist, patterns, num_patterns, seed):
+    """The seed's simulate(): nx ordering + per-gate bigint interpretation."""
+    mask = (1 << num_patterns) - 1
+    values = dict(_resolved_inputs(netlist, patterns, num_patterns, seed))
+    for gate_name in _seed_pseudo_topological_order(netlist):
+        gate = netlist.gates[gate_name]
+        if gate.cell.is_sequential:
+            continue
+        gate_inputs = {}
+        for pin in gate.input_pin_names:
+            net_name = gate.net_on(pin)
+            gate_inputs[pin] = values.get(net_name, 0) if net_name else 0
+        outputs = gate.cell.evaluate(gate_inputs, mask)
+        for pin, value in outputs.items():
+            net_name = gate.net_on(pin)
+            if net_name is not None:
+                values[net_name] = value & mask
+    observed = {}
+    for po in netlist.primary_outputs:
+        observed[po] = values.get(netlist.output_nets[po], 0)
+    return observed
+
+
+def _seed_output_error_rate(reference, candidate, num_patterns, seed) -> float:
+    patterns = _shared_input_patterns(reference, candidate, num_patterns, seed)
+    ref = _seed_simulate(reference, patterns, num_patterns, seed)
+    cand = _seed_simulate(candidate, patterns, num_patterns, seed)
+    error_mask = 0
+    for po, ref_value in ref.items():
+        error_mask |= ref_value ^ cand[po]
+    return 100.0 * bin(error_mask).count("1") / num_patterns
+
+
+def _seed_hamming_distance(reference, candidate, num_patterns, seed) -> float:
+    patterns = _shared_input_patterns(reference, candidate, num_patterns, seed)
+    ref = _seed_simulate(reference, patterns, num_patterns, seed)
+    cand = _seed_simulate(candidate, patterns, num_patterns, seed)
+    differing = sum(
+        bin(ref_value ^ cand[po]).count("1") for po, ref_value in ref.items()
+    )
+    return 100.0 * differing / (num_patterns * len(ref))
+
+
+def _seed_cost_matrix(view, config):
+    """The seed's per-pair cost-matrix construction."""
+    import numpy as np
+
+    drivers = view.driver_vpins
+    sinks = view.sink_vpins
+    half_perimeter = view.layout.floorplan.half_perimeter_um
+    reach = _visible_reachability(view) if config.use_loop_hint else None
+    cache: Dict[str, set] = {}
+
+    def descendants(gate):
+        if gate not in cache:
+            if reach is None or gate not in reach:
+                cache[gate] = set()
+            else:
+                cache[gate] = set(nx.descendants(reach, gate))
+        return cache[gate]
+
+    base_costs = np.zeros((len(sinks), len(drivers)))
+    excluded = 0
+    for si, sink in enumerate(sinks):
+        for di, driver in enumerate(drivers):
+            distance = (
+                abs(sink.position.x - driver.position.x)
+                + abs(sink.position.y - driver.position.y)
+            )
+            pair_cost = distance
+            infeasible = False
+            if config.use_direction_hint:
+                penalty, sink_angle = _direction_penalty(driver, sink)
+                pair_cost += config.direction_weight * half_perimeter * 0.1 * penalty
+                if (
+                    sink_angle > config.direction_tolerance_deg
+                    and distance > config.direction_min_distance_um
+                ):
+                    infeasible = True
+            if distance > config.timing_fraction * half_perimeter:
+                pair_cost += config.timing_penalty
+            if (
+                config.use_load_hint
+                and driver.max_load_ff > 0
+                and sink.capacitance_ff > driver.max_load_ff
+            ):
+                infeasible = True
+            if sink.gate is not None and driver.gate is not None:
+                if sink.gate == driver.gate:
+                    infeasible = True
+                elif config.use_loop_hint and driver.gate in descendants(sink.gate):
+                    infeasible = True
+            if infeasible:
+                pair_cost = config.infeasible_cost
+                excluded += 1
+            base_costs[si, di] = pair_cost
+    return base_costs, excluded
+
+
+# ---------------------------------------------------------------------------
+# Benchmark cases
+# ---------------------------------------------------------------------------
+
+
+def bench_simulation(benchmark: str, num_patterns: int, repeat: int) -> Dict[str, Dict]:
+    netlist = iscas85_netlist(benchmark, seed=1)
+    candidate = netlist.copy("candidate")
+    gate = next(
+        g for g in candidate.gates.values()
+        if g.input_pin_names and g.net_on(g.input_pin_names[0]) is not None
+    )
+    current = gate.net_on(gate.input_pin_names[0])
+    other = next(
+        name for name, net in candidate.nets.items()
+        if name != current and net.has_driver()
+    )
+    candidate.move_sink(gate.name, gate.input_pin_names[0], other)
+    num_gates = netlist.num_gates
+
+    results: Dict[str, Dict] = {}
+
+    def record(name: str, seconds: float, work_ops: float, extra: Optional[Dict] = None):
+        entry = {
+            "wall_clock_s": round(seconds, 6),
+            "ops_per_s": round(work_ops / seconds, 1) if seconds > 0 else None,
+        }
+        if extra:
+            entry.update(extra)
+        results[name] = entry
+
+    gate_evals = float(num_gates * num_patterns)
+
+    record(
+        "simulate_seed_equivalent",
+        _timeit(lambda: _seed_simulate(netlist, None, num_patterns, 1), repeat),
+        gate_evals,
+    )
+    record(
+        "simulate_legacy_interpreter",
+        _timeit(
+            lambda: _simulate_legacy(
+                netlist, _resolved_inputs(netlist, None, num_patterns, 1),
+                num_patterns, 0,
+            ),
+            repeat,
+        ),
+        gate_evals,
+    )
+    simulate(netlist, None, num_patterns, 1)  # compile + specialize once
+    record(
+        "simulate_engine_warm",
+        _timeit(lambda: simulate(netlist, None, num_patterns, 1), repeat),
+        gate_evals,
+    )
+
+    pair_evals = float(2 * num_gates * num_patterns)
+    record(
+        "oer_seed_equivalent",
+        _timeit(
+            lambda: _seed_output_error_rate(netlist, candidate, num_patterns, 1), repeat
+        ),
+        pair_evals,
+    )
+    record(
+        "hd_seed_equivalent",
+        _timeit(
+            lambda: _seed_hamming_distance(netlist, candidate, num_patterns, 1), repeat
+        ),
+        pair_evals,
+    )
+
+    def oer_cold():
+        engine._PLAN_CACHE.clear()
+        return output_error_rate(netlist, candidate, num_patterns, 1)
+
+    record("oer_engine_cold", _timeit(oer_cold, repeat), pair_evals)
+    output_error_rate(netlist, candidate, num_patterns, 1)
+    output_error_rate(netlist, candidate, num_patterns, 1)
+    record(
+        "oer_engine_warm",
+        _timeit(lambda: output_error_rate(netlist, candidate, num_patterns, 1), repeat),
+        pair_evals,
+    )
+    record(
+        "hd_engine_warm",
+        _timeit(lambda: hamming_distance(netlist, candidate, num_patterns, 1), repeat),
+        pair_evals,
+    )
+
+    # Bit-exactness of the benchmarked paths, asserted on every run: the
+    # engine must reproduce the seed implementation's floats exactly.
+    assert output_error_rate(
+        netlist, candidate, num_patterns, 1
+    ) == _seed_output_error_rate(netlist, candidate, num_patterns, 1)
+    assert hamming_distance(
+        netlist, candidate, num_patterns, 1
+    ) == _seed_hamming_distance(netlist, candidate, num_patterns, 1)
+    return results
+
+
+def bench_attack(repeat: int) -> Dict[str, Dict]:
+    netlist = iscas85_netlist("c432", seed=1)
+    artefacts = protect(
+        netlist,
+        ProtectionConfig(lift_layer=6, swap_fraction_steps=(0.08,),
+                         oer_patterns=512, seed=1),
+    )
+    view = extract_feol(artefacts.protected_layout, 4)
+    config = NetworkFlowAttackConfig()
+
+    results: Dict[str, Dict] = {}
+    pairs = float(len(view.sink_vpins) * len(view.driver_vpins))
+    seed_time = _timeit(lambda: _seed_cost_matrix(view, config), repeat)
+    vec_time = _timeit(lambda: build_cost_matrix(view, config), repeat)
+    results["cost_matrix_seed_equivalent"] = {
+        "wall_clock_s": round(seed_time, 6),
+        "ops_per_s": round(pairs / seed_time, 1),
+        "pairs": int(pairs),
+    }
+    results["cost_matrix_vectorized"] = {
+        "wall_clock_s": round(vec_time, 6),
+        "ops_per_s": round(pairs / vec_time, 1),
+        "pairs": int(pairs),
+    }
+    results["network_flow_attack_full"] = {
+        "wall_clock_s": round(_timeit(lambda: network_flow_attack(view, config), repeat), 6),
+        "ops_per_s": None,
+    }
+
+    import numpy as np
+
+    seed_costs, seed_excluded = _seed_cost_matrix(view, config)
+    vec_costs, vec_excluded = build_cost_matrix(view, config)
+    assert seed_excluded == vec_excluded
+    assert np.allclose(seed_costs, vec_costs, rtol=1e-12, atol=1e-9)
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="c1908",
+                        help="ISCAS benchmark for the simulation cases")
+    parser.add_argument("--patterns", type=int, default=4096,
+                        help="patterns per OER/HD evaluation")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="runs per measurement (median is reported)")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_sim.json"),
+                        help="path of the JSON artifact")
+    args = parser.parse_args(argv)
+
+    sim_results = bench_simulation(args.benchmark, args.patterns, args.repeat)
+    attack_results = bench_attack(args.repeat)
+
+    def speedup(baseline: str, contender: str, table: Dict[str, Dict]) -> float:
+        return round(
+            table[baseline]["wall_clock_s"] / table[contender]["wall_clock_s"], 2
+        )
+
+    payload = {
+        "meta": {
+            "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "benchmark": args.benchmark,
+            "num_patterns": args.patterns,
+            "repeat": args.repeat,
+            "ops_unit": "gate-pattern evaluations (simulation) / candidate pairs (attack)",
+        },
+        "simulation": sim_results,
+        "attack": attack_results,
+        "speedups_vs_seed": {
+            "simulate": speedup("simulate_seed_equivalent", "simulate_engine_warm", sim_results),
+            "oer_warm": speedup("oer_seed_equivalent", "oer_engine_warm", sim_results),
+            "oer_cold": speedup("oer_seed_equivalent", "oer_engine_cold", sim_results),
+            "hd_warm": speedup("hd_seed_equivalent", "hd_engine_warm", sim_results),
+            "attack_cost_matrix": speedup(
+                "cost_matrix_seed_equivalent", "cost_matrix_vectorized", attack_results
+            ),
+        },
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload["speedups_vs_seed"], indent=2))
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

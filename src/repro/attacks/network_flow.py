@@ -29,14 +29,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 import networkx as nx
 
-from repro.layout.geometry import manhattan
+from repro.netlist.graph import transitive_closure_bitmap
 from repro.netlist.netlist import Netlist
 from repro.sm.split import FEOLView, VPin
 
@@ -141,6 +141,138 @@ def _visible_reachability(view: FEOLView) -> nx.DiGraph:
     return graph
 
 
+def _loop_exclusion_matrix(view: FEOLView, sinks: List[VPin],
+                           drivers: List[VPin]) -> np.ndarray:
+    """Boolean (sink x driver) matrix of pairs that would close a visible loop.
+
+    The loop hint is evaluated from a single transitive-closure pass over the
+    attacker-visible connectivity (a packed reachability bitmap) instead of
+    one ``nx.descendants`` traversal per sink gate: entry ``[s, d]`` is True
+    iff the driver's gate is reachable from the sink's gate through visible
+    logic.
+    """
+    index, bitmap = transitive_closure_bitmap(_visible_reachability(view))
+    sink_rows = np.asarray(
+        [index.get(vpin.gate, -1) if vpin.gate is not None else -1 for vpin in sinks],
+        dtype=np.intp,
+    )
+    driver_cols = np.asarray(
+        [index.get(vpin.gate, -1) if vpin.gate is not None else -1 for vpin in drivers],
+        dtype=np.intp,
+    )
+    result = np.zeros((len(sinks), len(drivers)), dtype=bool)
+    sink_known = sink_rows >= 0
+    driver_known = driver_cols >= 0
+    if not sink_known.any() or not driver_known.any():
+        return result
+    rows = bitmap[sink_rows[sink_known]]  # (s_known, words)
+    cols = driver_cols[driver_known]
+    words = cols >> 6
+    shifts = (cols & 63).astype(np.uint64)
+    bits = (rows[:, words] >> shifts[None, :]) & np.uint64(1)
+    result[np.ix_(sink_known, driver_known)] = bits.astype(bool)
+    return result
+
+
+def build_cost_matrix(view: FEOLView,
+                      config: Optional[NetworkFlowAttackConfig] = None
+                      ) -> Tuple[np.ndarray, int]:
+    """Build the sink x driver cost matrix of the attack, vectorized.
+
+    Returns ``(base_costs, excluded)`` where ``base_costs[s, d]`` is the
+    assignment cost of connecting sink vpin *s* to driver vpin *d* (the
+    paper's hints applied as soft penalties) and ``excluded`` counts the
+    infeasible pairs (loop-forming / load-violating / geometry-contradicting
+    candidates) that were pinned to ``config.infeasible_cost``.
+
+    The construction broadcasts over position, direction and capacitance
+    arrays instead of looping over every pair, and evaluates the
+    loop-avoidance hint against a cached reachability bitmap; it is
+    numerically equivalent to the historical per-pair construction (see the
+    regression test in ``tests/test_engine.py``).
+    """
+    config = config if config is not None else NetworkFlowAttackConfig()
+    drivers = view.driver_vpins
+    sinks = view.sink_vpins
+    if not drivers or not sinks:
+        return np.zeros((len(sinks), len(drivers))), 0
+    half_perimeter = view.layout.floorplan.half_perimeter_um
+
+    sink_x = np.asarray([vpin.position.x for vpin in sinks])
+    sink_y = np.asarray([vpin.position.y for vpin in sinks])
+    drv_x = np.asarray([vpin.position.x for vpin in drivers])
+    drv_y = np.asarray([vpin.position.y for vpin in drivers])
+    delta_x = sink_x[:, None] - drv_x[None, :]
+    delta_y = sink_y[:, None] - drv_y[None, :]
+    distance = np.abs(delta_x) + np.abs(delta_y)
+    cost = distance.copy()
+    infeasible = np.zeros(distance.shape, dtype=bool)
+
+    if config.use_direction_hint:
+        norm = np.hypot(delta_x, delta_y)
+        degenerate = norm < 1e-9
+        safe_norm = np.where(degenerate, 1.0, norm)
+        unit_x = delta_x / safe_norm
+        unit_y = delta_y / safe_norm
+
+        drv_dir_x = np.asarray([
+            vpin.direction[0] if vpin.direction is not None else 0.0 for vpin in drivers
+        ])
+        drv_dir_y = np.asarray([
+            vpin.direction[1] if vpin.direction is not None else 0.0 for vpin in drivers
+        ])
+        drv_has_dir = np.asarray([vpin.direction is not None for vpin in drivers])
+        sink_dir_x = np.asarray([
+            vpin.direction[0] if vpin.direction is not None else 0.0 for vpin in sinks
+        ])
+        sink_dir_y = np.asarray([
+            vpin.direction[1] if vpin.direction is not None else 0.0 for vpin in sinks
+        ])
+        sink_has_dir = np.asarray([vpin.direction is not None for vpin in sinks])
+
+        drv_cos = drv_dir_x[None, :] * unit_x + drv_dir_y[None, :] * unit_y
+        # The sink's stub should point back towards the driver.
+        sink_cos = sink_dir_x[:, None] * -unit_x + sink_dir_y[:, None] * -unit_y
+        penalty = (
+            np.where(drv_has_dir[None, :], 1.0 - drv_cos, 0.0)
+            + np.where(sink_has_dir[:, None], 1.0 - sink_cos, 0.0)
+        )
+        counts = drv_has_dir[None, :].astype(np.int64) + sink_has_dir[:, None]
+        np.divide(penalty, counts, out=penalty, where=counts > 0)
+        penalty[degenerate] = 0.0
+        cost += config.direction_weight * half_perimeter * 0.1 * penalty
+
+        sink_angle = np.zeros(distance.shape)
+        measured = sink_has_dir[:, None] & ~degenerate
+        sink_angle[measured] = np.degrees(
+            np.arccos(np.clip(sink_cos[measured], -1.0, 1.0))
+        )
+        infeasible |= (
+            (sink_angle > config.direction_tolerance_deg)
+            & (distance > config.direction_min_distance_um)
+        )
+
+    cost[distance > config.timing_fraction * half_perimeter] += config.timing_penalty
+
+    if config.use_load_hint:
+        sink_cap = np.asarray([vpin.capacitance_ff for vpin in sinks])
+        drv_load = np.asarray([vpin.max_load_ff for vpin in drivers])
+        infeasible |= (drv_load[None, :] > 0) & (sink_cap[:, None] > drv_load[None, :])
+
+    sink_gates = [vpin.gate for vpin in sinks]
+    driver_gates = [vpin.gate for vpin in drivers]
+    same_gate = np.asarray([
+        [sg is not None and sg == dg for dg in driver_gates] for sg in sink_gates
+    ], dtype=bool)
+    infeasible |= same_gate  # direct self-loops
+    if config.use_loop_hint:
+        # Combinational loops through visible logic.
+        infeasible |= _loop_exclusion_matrix(view, sinks, drivers)
+
+    cost[infeasible] = config.infeasible_cost
+    return cost, int(infeasible.sum())
+
+
 def network_flow_attack(view: FEOLView,
                         config: Optional[NetworkFlowAttackConfig] = None) -> NetworkFlowAttackResult:
     """Run the network-flow attack on a FEOL view.
@@ -157,18 +289,6 @@ def network_flow_attack(view: FEOLView,
             f"{view.layout.netlist.name}_recovered"
         )
         return result
-
-    half_perimeter = view.layout.floorplan.half_perimeter_um
-    reach = _visible_reachability(view) if config.use_loop_hint else None
-    descendants_cache: Dict[str, Set[str]] = {}
-
-    def descendants(gate: str) -> Set[str]:
-        if gate not in descendants_cache:
-            if reach is None or gate not in reach:
-                descendants_cache[gate] = set()
-            else:
-                descendants_cache[gate] = set(nx.descendants(reach, gate))
-        return descendants_cache[gate]
 
     # Fanout capacity per driver: bounded by the flow capacity and, when the
     # load hint is enabled, by how many typical sink loads the driver can take.
@@ -190,42 +310,8 @@ def network_flow_attack(view: FEOLView,
     for index, capacity in enumerate(capacities):
         slot_driver_index.extend([index] * capacity)
 
-    num_slots = len(slot_driver_index)
-    cost = np.zeros((len(sinks), num_slots))
-    excluded = 0
-    base_costs = np.zeros((len(sinks), len(drivers)))
-    for si, sink in enumerate(sinks):
-        for di, driver in enumerate(drivers):
-            distance = manhattan(sink.position, driver.position)
-            pair_cost = distance
-            infeasible = False
-            if config.use_direction_hint:
-                penalty, sink_angle = _direction_penalty(driver, sink)
-                pair_cost += config.direction_weight * half_perimeter * 0.1 * penalty
-                if (
-                    sink_angle > config.direction_tolerance_deg
-                    and distance > config.direction_min_distance_um
-                ):
-                    infeasible = True
-            if distance > config.timing_fraction * half_perimeter:
-                pair_cost += config.timing_penalty
-            if (
-                config.use_load_hint
-                and driver.max_load_ff > 0
-                and sink.capacitance_ff > driver.max_load_ff
-            ):
-                infeasible = True
-            if sink.gate is not None and driver.gate is not None:
-                if sink.gate == driver.gate:
-                    infeasible = True  # direct self-loop
-                elif config.use_loop_hint and driver.gate in descendants(sink.gate):
-                    infeasible = True  # combinational loop through visible logic
-            if infeasible:
-                pair_cost = config.infeasible_cost
-                excluded += 1
-            base_costs[si, di] = pair_cost
-    for slot, di in enumerate(slot_driver_index):
-        cost[:, slot] = base_costs[:, di]
+    base_costs, excluded = build_cost_matrix(view, config)
+    cost = base_costs[:, np.asarray(slot_driver_index, dtype=np.intp)]
 
     row_ind, col_ind = linear_sum_assignment(cost)
     assignment: Dict[int, int] = {}

@@ -18,6 +18,10 @@ from repro.utils.tables import Table
 #: Percentiles reported for each layout's distance distribution.
 PERCENTILES = (10, 25, 50, 75, 90, 95, 99, 100)
 
+#: Benchmark the paper's Fig. 4 is drawn for; the runner's artefact prewarm
+#: reads this too, so it stays in sync with the run()/histograms() defaults.
+DEFAULT_BENCHMARK = "superblue18"
+
 
 def _percentile(values: List[float], percentile: float) -> float:
     if not values:
@@ -28,7 +32,7 @@ def _percentile(values: List[float], percentile: float) -> float:
 
 
 def run(config: Optional[ExperimentConfig] = None,
-        benchmark: str = "superblue18") -> Table:
+        benchmark: str = DEFAULT_BENCHMARK) -> Table:
     """Regenerate Fig. 4 as a percentile table."""
     config = config if config is not None else ExperimentConfig()
     result = protection_artifacts(benchmark, config)
@@ -51,7 +55,7 @@ def run(config: Optional[ExperimentConfig] = None,
 
 
 def histograms(config: Optional[ExperimentConfig] = None,
-               benchmark: str = "superblue18", num_bins: int = 16) -> Dict[str, List[int]]:
+               benchmark: str = DEFAULT_BENCHMARK, num_bins: int = 16) -> Dict[str, List[int]]:
     """Fixed-width histograms of the three distributions (plot-ready data)."""
     config = config if config is not None else ExperimentConfig()
     result = protection_artifacts(benchmark, config)

@@ -2,17 +2,21 @@
 
 Usage::
 
-    python -m repro.experiments.runner            # full default configuration
-    python -m repro.experiments.runner --quick    # reduced benchmark sets
+    python -m repro.experiments.runner              # full default configuration
+    python -m repro.experiments.runner --quick      # reduced benchmark sets
+    python -m repro.experiments.runner --jobs 4     # parallel artefact builds
 
 The runner shares one artefact cache across all experiments, so the expensive
 protection flows run once per benchmark regardless of how many tables consume
-them.
+them.  With ``--jobs`` > 1 the independent per-benchmark protection flows are
+prewarmed in parallel worker processes before the (cheap) table generation
+runs serially against the warm cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import Callable, Dict, List, Optional
@@ -29,7 +33,11 @@ from repro.experiments import (
     table5_routing_schemes,
     table6_magana,
 )
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import (
+    ExperimentConfig,
+    default_prewarm_jobs,
+    prewarm_artifacts,
+)
 from repro.utils.tables import Table, format_table
 
 #: Experiment id → run() callable, in the order they are reported.
@@ -46,6 +54,22 @@ EXPERIMENTS: Dict[str, Callable[[Optional[ExperimentConfig]], Table]] = {
     "headline": headline.run,
 }
 
+#: Benchmarks each experiment draws artefacts for: a config suite name
+#: ("iscas" / "superblue") or an explicit tuple for single-benchmark figures
+#: (prewarming a whole suite for those would waste the most expensive step).
+EXPERIMENT_SUITES: Dict[str, object] = {
+    "table1": "superblue",
+    "table2": "superblue",
+    "table3": "superblue",
+    "table4": "iscas",
+    "table5": "iscas",
+    "table6": "superblue",
+    "figure4": (figure4_distance_distributions.DEFAULT_BENCHMARK,),
+    "figure5": "superblue",
+    "figure6": "iscas",
+    "headline": "iscas",
+}
+
 
 def quick_config() -> ExperimentConfig:
     """A reduced configuration for smoke runs and CI."""
@@ -58,19 +82,60 @@ def quick_config() -> ExperimentConfig:
     )
 
 
+def benchmarks_for(selected: List[str], config: ExperimentConfig) -> List[str]:
+    """The benchmarks the selected experiments will request artefacts for."""
+    benchmarks: List[str] = []
+    seen = set()
+    for name in selected:
+        spec = EXPERIMENT_SUITES.get(name)
+        if spec == "iscas":
+            wanted = config.iscas_benchmarks
+        elif spec == "superblue":
+            wanted = config.superblue_benchmarks
+        else:
+            wanted = spec or ()
+        for benchmark in wanted:
+            if benchmark not in seen:
+                seen.add(benchmark)
+                benchmarks.append(benchmark)
+    return benchmarks
+
+
 def run_all(config: Optional[ExperimentConfig] = None,
-            only: Optional[List[str]] = None) -> Dict[str, Table]:
-    """Run the selected experiments and return their tables."""
+            only: Optional[List[str]] = None,
+            jobs: int = 1) -> Dict[str, Table]:
+    """Run the selected experiments and return their tables.
+
+    Args:
+        config: Shared experiment configuration (default full config).
+        only: Subset of experiment names (default all).
+        jobs: Worker processes for the parallel artefact prewarm; 1 keeps
+            everything serial and in-process.
+    """
     config = config if config is not None else ExperimentConfig()
     selected = only if only else list(EXPERIMENTS)
-    results: Dict[str, Table] = {}
     for name in selected:
         if name not in EXPERIMENTS:
             raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    if jobs > 1:
+        prewarm_artifacts(benchmarks_for(selected, config), config, jobs=jobs)
+    results: Dict[str, Table] = {}
+    for name in selected:
         start = time.time()
         results[name] = EXPERIMENTS[name](config)
         results[name].title += f"   [{time.time() - start:.1f}s]"
     return results
+
+
+def build_config(args: argparse.Namespace) -> ExperimentConfig:
+    """Resolve the experiment configuration from parsed CLI arguments."""
+    config = quick_config() if args.quick else ExperimentConfig()
+    if args.superblue_scale is not None:
+        # dataclasses.replace keeps every other field (split layers, swap
+        # fractions, budgets...) exactly as configured instead of silently
+        # resetting them to defaults.
+        config = dataclasses.replace(config, superblue_scale=args.superblue_scale)
+    return config
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -80,19 +145,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help=f"subset of experiments ({', '.join(EXPERIMENTS)})")
     parser.add_argument("--superblue-scale", type=float, default=None,
                         help="override the superblue down-scaling factor")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for the artefact prewarm "
+                             f"(default {default_prewarm_jobs()}; 1 = serial)")
     args = parser.parse_args(argv)
 
-    config = quick_config() if args.quick else ExperimentConfig()
-    if args.superblue_scale is not None:
-        config = ExperimentConfig(
-            iscas_benchmarks=config.iscas_benchmarks,
-            superblue_benchmarks=config.superblue_benchmarks,
-            superblue_scale=args.superblue_scale,
-            iscas_split_layers=config.iscas_split_layers,
-            num_patterns=config.num_patterns,
-            seed=config.seed,
-        )
-    results = run_all(config, args.only)
+    config = build_config(args)
+    jobs = args.jobs if args.jobs is not None else default_prewarm_jobs()
+    results = run_all(config, args.only, jobs=jobs)
     for table in results.values():
         print(format_table(table))
         print()

@@ -94,6 +94,12 @@ class Cell:
         is_sequential: True for flip-flops/latches.
         beol_only: True for correction/lifting cells which occupy no FEOL
             resources and may overlap standard cells.
+        logic_ops: Structured description of the logic function as a tuple of
+            arcs ``(output_pin, op_kind, input_pins)``; the vectorized
+            simulation engine (:mod:`repro.netlist.engine`) compiles these
+            into NumPy kernels.  ``None`` means the cell can only be evaluated
+            through ``function`` (the engine then falls back to the legacy
+            bigint interpreter).
     """
 
     name: str
@@ -109,6 +115,7 @@ class Cell:
     switch_energy_fj: float = 1.0
     is_sequential: bool = False
     beol_only: bool = False
+    logic_ops: Optional[Tuple[Tuple[str, str, Tuple[str, ...]], ...]] = None
 
     @property
     def input_pins(self) -> List[CellPin]:
@@ -187,7 +194,33 @@ class CellLibrary:
 
 # ---------------------------------------------------------------------------
 # Logic-function helpers (bit-parallel over Python big integers)
+#
+# The n-ary functions are frozen-dataclass callables rather than closures so
+# that cells (and hence netlists, layouts and whole protection artefacts) can
+# be pickled across process boundaries by the parallel experiment runner.
 # ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NaryLogicFn:
+    """Picklable bit-parallel AND/NAND/OR/NOR over a fixed input-pin tuple."""
+
+    kind: str  # "AND" | "NAND" | "OR" | "NOR"
+    pins: Tuple[str, ...]
+    out: str = "ZN"
+
+    def __call__(self, inputs: Mapping[str, int], mask: int) -> Dict[str, int]:
+        if self.kind in ("AND", "NAND"):
+            value = mask
+            for name in self.pins:
+                value &= inputs[name]
+        else:
+            value = 0
+            for name in self.pins:
+                value |= inputs[name]
+        if self.kind in ("NAND", "NOR"):
+            value = ~value
+        return {self.out: value & mask}
 
 
 def _fn_inv(inputs: Mapping[str, int], mask: int) -> Dict[str, int]:
@@ -198,46 +231,24 @@ def _fn_buf(inputs: Mapping[str, int], mask: int) -> Dict[str, int]:
     return {"Z": inputs["A"] & mask}
 
 
+def _nary_pins(n: int) -> Tuple[str, ...]:
+    return tuple(f"A{i + 1}" for i in range(n))
+
+
 def _make_and(n: int) -> Callable[[Mapping[str, int], int], Dict[str, int]]:
-    names = [f"A{i + 1}" for i in range(n)]
-
-    def fn(inputs: Mapping[str, int], mask: int) -> Dict[str, int]:
-        value = mask
-        for name in names:
-            value &= inputs[name]
-        return {"ZN": value & mask}
-
-    return fn
+    return NaryLogicFn("AND", _nary_pins(n))
 
 
 def _make_nand(n: int) -> Callable[[Mapping[str, int], int], Dict[str, int]]:
-    inner = _make_and(n)
-
-    def fn(inputs: Mapping[str, int], mask: int) -> Dict[str, int]:
-        return {"ZN": (~inner(inputs, mask)["ZN"]) & mask}
-
-    return fn
+    return NaryLogicFn("NAND", _nary_pins(n))
 
 
 def _make_or(n: int) -> Callable[[Mapping[str, int], int], Dict[str, int]]:
-    names = [f"A{i + 1}" for i in range(n)]
-
-    def fn(inputs: Mapping[str, int], mask: int) -> Dict[str, int]:
-        value = 0
-        for name in names:
-            value |= inputs[name]
-        return {"ZN": value & mask}
-
-    return fn
+    return NaryLogicFn("OR", _nary_pins(n))
 
 
 def _make_nor(n: int) -> Callable[[Mapping[str, int], int], Dict[str, int]]:
-    inner = _make_or(n)
-
-    def fn(inputs: Mapping[str, int], mask: int) -> Dict[str, int]:
-        return {"ZN": (~inner(inputs, mask)["ZN"]) & mask}
-
-    return fn
+    return NaryLogicFn("NOR", _nary_pins(n))
 
 
 def _fn_xor2(inputs: Mapping[str, int], mask: int) -> Dict[str, int]:
@@ -275,6 +286,31 @@ def _fn_correction(inputs: Mapping[str, int], mask: int) -> Dict[str, int]:
 
 def _fn_lift(inputs: Mapping[str, int], mask: int) -> Dict[str, int]:
     return {"Y": inputs["C"] & mask}
+
+
+#: Logic-op arcs of the fixed-form cell functions, keyed by function object.
+_FIXED_FN_OPS: Dict[Callable, Tuple[Tuple[str, str, Tuple[str, ...]], ...]] = {
+    _fn_inv: (("ZN", "INV", ("A",)),),
+    _fn_buf: (("Z", "BUF", ("A",)),),
+    _fn_xor2: (("Z", "XOR", ("A1", "A2")),),
+    _fn_xnor2: (("ZN", "XNOR", ("A1", "A2")),),
+    _fn_aoi21: (("ZN", "AOI21", ("A1", "A2", "B")),),
+    _fn_oai21: (("ZN", "OAI21", ("A1", "A2", "B")),),
+    _fn_mux2: (("Z", "MUX2", ("A", "B", "S")),),
+    _fn_correction: (("Y", "BUF", ("C",)), ("Z", "BUF", ("D",))),
+    _fn_lift: (("Y", "BUF", ("C",)),),
+}
+
+
+def derive_logic_ops(
+    fn: Optional[Callable[[Mapping[str, int], int], Mapping[str, int]]],
+) -> Optional[Tuple[Tuple[str, str, Tuple[str, ...]], ...]]:
+    """Return the ``logic_ops`` arcs for a known cell function (else ``None``)."""
+    if fn is None:
+        return None
+    if isinstance(fn, NaryLogicFn):
+        return ((fn.out, fn.kind, fn.pins),)
+    return _FIXED_FN_OPS.get(fn)
 
 
 # ---------------------------------------------------------------------------
@@ -318,6 +354,7 @@ def _cell(
         leakage_nw=leak,
         switch_energy_fj=energy,
         is_sequential=sequential,
+        logic_ops=derive_logic_ops(fn),
     )
 
 
@@ -422,6 +459,7 @@ def nangate45_library() -> CellLibrary:
                 leakage_nw=0.0,
                 switch_energy_fj=buf.switch_energy_fj,
                 beol_only=True,
+                logic_ops=derive_logic_ops(_fn_correction),
             )
         )
         library.add(
@@ -440,6 +478,7 @@ def nangate45_library() -> CellLibrary:
                 leakage_nw=0.0,
                 switch_energy_fj=buf.switch_energy_fj,
                 beol_only=True,
+                logic_ops=derive_logic_ops(_fn_lift),
             )
         )
 

@@ -110,6 +110,18 @@ class Netlist:
         self.primary_outputs: List[str] = []
         #: Net feeding each primary output (often the net of the same name).
         self.output_nets: Dict[str, str] = {}
+        #: Monotonic counter bumped on every structural edit; consumers such
+        #: as the vectorized simulation engine key their compiled-plan caches
+        #: on it so stale plans are never executed.
+        self._topology_version: int = 0
+
+    @property
+    def topology_version(self) -> int:
+        """Current structural-edit generation of the netlist."""
+        return self._topology_version
+
+    def _bump_version(self) -> None:
+        self._topology_version += 1
 
     # ------------------------------------------------------------------
     # Construction
@@ -125,6 +137,7 @@ class Netlist:
             raise NetlistError(f"net {name!r} already has a gate driver")
         net.is_primary_input = True
         self.primary_inputs.append(name)
+        self._bump_version()
         return net
 
     def add_primary_output(self, name: str, net_name: Optional[str] = None) -> None:
@@ -138,12 +151,14 @@ class Netlist:
         self.primary_outputs.append(name)
         self.output_nets[name] = net_name
         net.primary_outputs.append(name)
+        self._bump_version()
 
     def add_net(self, name: str) -> Net:
         if name in self.nets:
             raise NetlistError(f"net {name!r} already exists")
         net = Net(name)
         self.nets[name] = net
+        self._bump_version()
         return net
 
     def get_or_add_net(self, name: str) -> Net:
@@ -161,6 +176,7 @@ class Netlist:
         cell = self.library[cell_name]
         gate = Gate(name=name, cell=cell)
         self.gates[name] = gate
+        self._bump_version()
         if connections:
             for pin, net_name in connections.items():
                 self.connect_pin(name, pin, net_name)
@@ -172,6 +188,7 @@ class Netlist:
         for pin in list(gate.connections):
             self.disconnect_pin(name, pin)
         del self.gates[name]
+        self._bump_version()
 
     # ------------------------------------------------------------------
     # Connectivity editing
@@ -198,6 +215,7 @@ class Netlist:
         else:
             net.sinks.append((gate_name, pin_name))
         gate.connections[pin_name] = net_name
+        self._bump_version()
 
     def disconnect_pin(self, gate_name: str, pin_name: str) -> None:
         """Disconnect ``gate_name.pin_name`` from its net (if any)."""
@@ -216,6 +234,7 @@ class Netlist:
             except ValueError:
                 pass
         del gate.connections[pin_name]
+        self._bump_version()
 
     def move_sink(self, gate_name: str, pin_name: str, new_net: str) -> str:
         """Re-target the sink ``gate_name.pin_name`` to ``new_net``.
@@ -245,6 +264,7 @@ class Netlist:
         net = self.get_or_add_net(new_net)
         net.primary_outputs.append(po_name)
         self.output_nets[po_name] = new_net
+        self._bump_version()
         return old_net_name
 
     # ------------------------------------------------------------------

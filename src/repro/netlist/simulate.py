@@ -3,10 +3,22 @@
 The paper measures the *output error rate* (OER) and the *Hamming distance*
 (HD) between an original netlist and a recovered (or randomized) netlist by
 applying 1,000,000 random test patterns in Synopsys VCS.  Here the same
-metrics are computed with a pure-Python bit-parallel simulator: each net
-carries an arbitrary-precision integer whose bit *i* is the net's value under
-pattern *i*.  A few thousand random patterns are ample for the two
-statistics, which converge quickly.
+metrics are computed with a bit-parallel simulator: each net carries a
+bit-vector whose bit *i* is the net's value under pattern *i*.
+
+Two execution engines share this interface:
+
+* the **vectorized engine** (:mod:`repro.netlist.engine`) compiles the
+  netlist once into a cached evaluation plan and executes it over NumPy
+  ``uint64``-packed pattern blocks — the default, and fast enough to push
+  pattern counts toward the paper's regime;
+* the **legacy interpreter** in this module walks gates one at a time over
+  Python dicts and arbitrary-precision integers — retained as the semantic
+  reference and as the fallback for netlists containing custom cells without
+  :attr:`~repro.netlist.cells.Cell.logic_ops` metadata.
+
+Both engines are bit-exact with each other at equal seed (covered by the
+equivalence tests in ``tests/test_engine.py``).
 
 Sequential cells are treated as pseudo primary inputs (their ``Q`` outputs are
 driven with random values and their ``D`` inputs are observed as pseudo
@@ -18,14 +30,17 @@ anyway.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.netlist import engine as _engine
 from repro.netlist.graph import pseudo_topological_order
 from repro.netlist.netlist import Netlist
 from repro.utils.rng import make_rng
 
-#: Default number of random patterns used by the security metrics.
-DEFAULT_NUM_PATTERNS = 4096
+#: Default number of random patterns used by the security metrics.  The
+#: vectorized engine makes large pattern counts cheap; see the README for
+#: guidance on picking pattern counts per experiment.
+DEFAULT_NUM_PATTERNS = 16384
 
 
 class SimulationError(RuntimeError):
@@ -63,40 +78,29 @@ def random_patterns(names: Sequence[str], num_patterns: int,
 
 def _input_names(netlist: Netlist) -> List[str]:
     """Primary inputs plus sequential outputs (pseudo primary inputs)."""
-    names = list(netlist.primary_inputs)
-    for gate in netlist.gates.values():
-        if gate.cell.is_sequential:
-            net = netlist.gate_output_net(gate.name)
-            if net is not None:
-                names.append(net)
-    return names
+    return _engine.plan_input_names(netlist)
 
 
-def simulate(netlist: Netlist, patterns: Optional[Mapping[str, int]] = None,
-             num_patterns: int = DEFAULT_NUM_PATTERNS, seed: Optional[int] = 0,
-             x_value: int = 0) -> SimulationResult:
-    """Simulate ``netlist`` bit-parallel.
-
-    Args:
-        netlist: Netlist to simulate; its combinational portion must be acyclic.
-        patterns: Optional mapping from primary-input (and pseudo-input) name
-            to bit-vector.  Missing entries are filled with random values.
-        num_patterns: Number of patterns packed per bit-vector.
-        seed: Seed for generated patterns (``None`` = nondeterministic).
-        x_value: Value assumed for undriven/unconnected nets (0 or full mask).
-
-    Returns:
-        A :class:`SimulationResult` with per-output and per-net values.
-    """
+def _resolved_inputs(netlist: Netlist, patterns: Optional[Mapping[str, int]],
+                     num_patterns: int, seed: Optional[int]) -> Dict[str, int]:
+    """The exact input bit-vector per (pseudo) primary input."""
     mask = (1 << num_patterns) - 1
     input_names = _input_names(netlist)
-    values: Dict[str, int] = {}
     generated = random_patterns(input_names, num_patterns, seed)
+    values: Dict[str, int] = {}
     for name in input_names:
         if patterns is not None and name in patterns:
             values[name] = patterns[name] & mask
         else:
             values[name] = generated[name] & mask
+    return values
+
+
+def _simulate_legacy(netlist: Netlist, inputs: Dict[str, int],
+                     num_patterns: int, x_value: int) -> SimulationResult:
+    """Reference interpreter: per-gate evaluation over Python bigints."""
+    mask = (1 << num_patterns) - 1
+    values: Dict[str, int] = dict(inputs)
 
     # The pseudo-topological order degrades gracefully on (attacker-induced)
     # combinational loops instead of refusing to simulate.
@@ -123,12 +127,48 @@ def simulate(netlist: Netlist, patterns: Optional[Mapping[str, int]] = None,
         net_name = netlist.output_nets[po]
         observed[po] = values.get(net_name, x_value & mask)
 
-    result_inputs = {name: values[name] for name in input_names}
     return SimulationResult(
         num_patterns=num_patterns,
-        inputs=result_inputs,
+        inputs=inputs,
         outputs=observed,
         net_values=values,
+    )
+
+
+def simulate(netlist: Netlist, patterns: Optional[Mapping[str, int]] = None,
+             num_patterns: int = DEFAULT_NUM_PATTERNS, seed: Optional[int] = 0,
+             x_value: int = 0) -> SimulationResult:
+    """Simulate ``netlist`` bit-parallel.
+
+    Args:
+        netlist: Netlist to simulate; its combinational portion must be acyclic.
+        patterns: Optional mapping from primary-input (and pseudo-input) name
+            to bit-vector.  Missing entries are filled with random values.
+        num_patterns: Number of patterns packed per bit-vector.
+        seed: Seed for generated patterns (``None`` = nondeterministic).
+        x_value: Value assumed for undriven/unconnected nets (0 or full mask).
+
+    Returns:
+        A :class:`SimulationResult` with per-output and per-net values.
+    """
+    inputs = _resolved_inputs(netlist, patterns, num_patterns, seed)
+    try:
+        plan = _engine.compile_plan(netlist)
+    except _engine.UnsupportedNetlist:
+        return _simulate_legacy(netlist, inputs, num_patterns, x_value)
+    if plan.prefer_bigints(num_patterns):
+        by_slot = _engine.run_plan_bigints(plan, inputs, num_patterns, x_value)
+        outputs = {po: by_slot[slot] for po, slot in plan.output_slots}
+        net_values = {net: by_slot[slot] for net, slot in plan.value_slots}
+    else:
+        values = _engine.run_plan(plan, inputs, num_patterns, x_value)
+        outputs = _engine.extract_outputs(plan, values, num_patterns)
+        net_values = _engine.extract_values(plan, values, num_patterns)
+    return SimulationResult(
+        num_patterns=num_patterns,
+        inputs=inputs,
+        outputs=outputs,
+        net_values=net_values,
     )
 
 
@@ -139,7 +179,45 @@ def _shared_input_patterns(reference: Netlist, candidate: Netlist,
 
 
 def _popcount(value: int) -> int:
-    return bin(value).count("1")
+    return value.bit_count()
+
+
+def _plan_outputs(plan: "_engine.SimPlan", patterns: Mapping[str, int],
+                  num_patterns: int) -> Dict[str, int]:
+    """Primary-output bit-vectors via the plan's preferred executor."""
+    if plan.prefer_bigints(num_patterns):
+        by_slot = _engine.run_plan_bigints(plan, patterns, num_patterns)
+        return {po: by_slot[slot] for po, slot in plan.output_slots}
+    values = _engine.run_plan(plan, patterns, num_patterns)
+    return _engine.extract_outputs(plan, values, num_patterns)
+
+
+def _output_pair(
+    reference: Netlist, candidate: Netlist, num_patterns: int,
+    seed: Optional[int],
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Output bit-vectors of both netlists under shared patterns.
+
+    Uses the compiled engine when both netlists support it and falls back to
+    the legacy interpreter otherwise.  Raises :class:`SimulationError` when
+    the primary-output sets differ.
+    """
+    patterns = _shared_input_patterns(reference, candidate, num_patterns, seed)
+    try:
+        ref_plan = _engine.compile_plan(reference)
+        cand_plan = _engine.compile_plan(candidate)
+    except _engine.UnsupportedNetlist:
+        ref_outputs = simulate(reference, patterns, num_patterns, seed).outputs
+        cand_outputs = simulate(candidate, patterns, num_patterns, seed).outputs
+    else:
+        ref_outputs = _plan_outputs(ref_plan, patterns, num_patterns)
+        cand_outputs = _plan_outputs(cand_plan, patterns, num_patterns)
+    if set(ref_outputs) != set(cand_outputs):
+        raise SimulationError(
+            "netlists expose different primary outputs; the metric is "
+            f"undefined ({sorted(set(ref_outputs) ^ set(cand_outputs))[:5]} ...)"
+        )
+    return ref_outputs, cand_outputs
 
 
 def output_error_rate(reference: Netlist, candidate: Netlist,
@@ -153,17 +231,10 @@ def output_error_rate(reference: Netlist, candidate: Netlist,
     the stopping criterion of the paper's randomization step and the desired
     outcome when an attacker simulates a recovered netlist.
     """
-    patterns = _shared_input_patterns(reference, candidate, num_patterns, seed)
-    ref = simulate(reference, patterns, num_patterns, seed)
-    cand = simulate(candidate, patterns, num_patterns, seed)
-    if set(ref.outputs) != set(cand.outputs):
-        raise SimulationError(
-            "netlists expose different primary outputs; OER is undefined "
-            f"({sorted(set(ref.outputs) ^ set(cand.outputs))[:5]} ...)"
-        )
+    ref_outputs, cand_outputs = _output_pair(reference, candidate, num_patterns, seed)
     error_mask = 0
-    for po, ref_value in ref.outputs.items():
-        error_mask |= ref_value ^ cand.outputs[po]
+    for po, ref_value in ref_outputs.items():
+        error_mask |= ref_value ^ cand_outputs[po]
     return 100.0 * _popcount(error_mask) / num_patterns
 
 
@@ -176,19 +247,13 @@ def hamming_distance(reference: Netlist, candidate: Netlist,
     patterns.  0 % and 100 % both denote attack success (100 % is a simple
     inversion); 50 % is the ideal defensive value.
     """
-    patterns = _shared_input_patterns(reference, candidate, num_patterns, seed)
-    ref = simulate(reference, patterns, num_patterns, seed)
-    cand = simulate(candidate, patterns, num_patterns, seed)
-    if set(ref.outputs) != set(cand.outputs):
-        raise SimulationError(
-            "netlists expose different primary outputs; HD is undefined"
-        )
-    if not ref.outputs:
+    ref_outputs, cand_outputs = _output_pair(reference, candidate, num_patterns, seed)
+    if not ref_outputs:
         return 0.0
     differing = 0
-    for po, ref_value in ref.outputs.items():
-        differing += _popcount(ref_value ^ cand.outputs[po])
-    total_bits = num_patterns * len(ref.outputs)
+    for po, ref_value in ref_outputs.items():
+        differing += _popcount(ref_value ^ cand_outputs[po])
+    total_bits = num_patterns * len(ref_outputs)
     return 100.0 * differing / total_bits
 
 
@@ -200,6 +265,18 @@ def toggle_rates(netlist: Netlist, num_patterns: int = DEFAULT_NUM_PATTERNS,
     signal probability over the random patterns; this feeds the dynamic-power
     model.
     """
+    try:
+        plan = _engine.compile_plan(netlist)
+    except _engine.UnsupportedNetlist:
+        plan = None
+    if plan is not None and not plan.prefer_bigints(num_patterns):
+        inputs = _resolved_inputs(netlist, None, num_patterns, seed)
+        values = _engine.run_plan(plan, inputs, num_patterns)
+        counts = _engine.value_popcounts(plan, values, num_patterns)
+        return {
+            net: 2.0 * (count / num_patterns) * (1.0 - count / num_patterns)
+            for net, count in counts.items()
+        }
     result = simulate(netlist, None, num_patterns, seed)
     rates: Dict[str, float] = {}
     for net, value in result.net_values.items():

@@ -1,9 +1,16 @@
 """Tests for the experiment harness (small configurations)."""
 
+import argparse
+
 import pytest
 
 from repro.experiments import paper_data
-from repro.experiments.common import ExperimentConfig, clear_artifact_cache, protection_artifacts
+from repro.experiments.common import (
+    ExperimentConfig,
+    clear_artifact_cache,
+    prewarm_artifacts,
+    protection_artifacts,
+)
 from repro.experiments import (
     figure4_distance_distributions,
     figure5_wirelength_layers,
@@ -14,7 +21,14 @@ from repro.experiments import (
     table3_crouting,
     table6_magana,
 )
-from repro.experiments.runner import EXPERIMENTS, quick_config, run_all
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    EXPERIMENT_SUITES,
+    benchmarks_for,
+    build_config,
+    quick_config,
+    run_all,
+)
 from repro.utils.tables import Table, format_table
 
 
@@ -124,6 +138,65 @@ class TestRunner:
     def test_run_selected_subset(self, tiny_config):
         results = run_all(tiny_config, only=["table1"])
         assert set(results) == {"table1"}
+
+    def test_every_experiment_declares_a_suite(self):
+        assert set(EXPERIMENT_SUITES) == set(EXPERIMENTS)
+        for spec in EXPERIMENT_SUITES.values():
+            assert spec in ("iscas", "superblue") or isinstance(spec, tuple)
+
+    def test_benchmarks_for_selection(self, tiny_config):
+        assert benchmarks_for(["table4"], tiny_config) == list(tiny_config.iscas_benchmarks)
+        assert benchmarks_for(["table1"], tiny_config) == list(
+            tiny_config.superblue_benchmarks
+        )
+        both = benchmarks_for(["table4", "table1"], tiny_config)
+        assert set(both) == set(tiny_config.iscas_benchmarks) | set(
+            tiny_config.superblue_benchmarks
+        )
+
+    def test_benchmarks_for_single_benchmark_figures(self, tiny_config):
+        # figure4 runs on one fixed benchmark; the prewarm must not build the
+        # whole superblue suite for it.
+        assert benchmarks_for(["figure4"], tiny_config) == ["superblue18"]
+
+    def test_superblue_scale_override_keeps_other_fields(self):
+        args = argparse.Namespace(quick=True, superblue_scale=0.0125)
+        config = build_config(args)
+        quick = quick_config()
+        assert config.superblue_scale == 0.0125
+        assert config.iscas_split_layers == quick.iscas_split_layers
+        assert config.num_patterns == quick.num_patterns
+        assert config.iscas_benchmarks == quick.iscas_benchmarks
+        assert config.iscas_swap_fractions == quick.iscas_swap_fractions
+
+    def test_no_scale_override_returns_config_unchanged(self):
+        args = argparse.Namespace(quick=False, superblue_scale=None)
+        assert build_config(args) == ExperimentConfig()
+
+
+class TestPrewarm:
+    def test_prewarm_populates_cache_serially(self, tiny_config):
+        clear_artifact_cache()
+        built = prewarm_artifacts(["c432", "c432"], tiny_config, jobs=1)
+        assert built == ["c432"]
+        # Subsequent lookups are cache hits (identity-stable results).
+        first = protection_artifacts("c432", tiny_config)
+        assert protection_artifacts("c432", tiny_config) is first
+        assert prewarm_artifacts(["c432"], tiny_config, jobs=1) == []
+
+    def test_prewarm_parallel_matches_serial_artifacts(self, tiny_config):
+        """Two missing benchmarks with jobs=2 exercises the real process
+        pool: worker dispatch, ProtectionResult pickling across the process
+        boundary, and lock-guarded cache publication."""
+        clear_artifact_cache()
+        built = prewarm_artifacts(["c432", "c880"], tiny_config, jobs=2)
+        assert sorted(built) == ["c432", "c880"]
+        parallel_result = protection_artifacts("c432", tiny_config)
+        serial_result = protection_artifacts("c432", tiny_config, use_cache=False)
+        assert parallel_result.summary() == serial_result.summary()
+        assert protection_artifacts("c880", tiny_config) is protection_artifacts(
+            "c880", tiny_config
+        )
 
 
 class TestPaperData:
