@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so ``pip install
+-e .`` also works on environments whose setuptools predates the bundled
+``bdist_wheel`` command (< 70) and that lack the ``wheel`` package — pip
+falls back to the legacy ``setup.py develop`` editable path there.
+"""
+
+from setuptools import setup
+
+setup()

@@ -38,7 +38,7 @@ import networkx as nx
 
 from repro.netlist.graph import transitive_closure_bitmap
 from repro.netlist.netlist import Netlist
-from repro.sm.split import FEOLView, VPin
+from repro.sm.split import FEOLView, VPin, feol_arrays
 
 
 @dataclass
@@ -198,10 +198,13 @@ def build_cost_matrix(view: FEOLView,
         return np.zeros((len(sinks), len(drivers))), 0
     half_perimeter = view.layout.floorplan.half_perimeter_um
 
-    sink_x = np.asarray([vpin.position.x for vpin in sinks])
-    sink_y = np.asarray([vpin.position.y for vpin in sinks])
-    drv_x = np.asarray([vpin.position.x for vpin in drivers])
-    drv_y = np.asarray([vpin.position.y for vpin in drivers])
+    # Position/direction/capacitance columns come straight from the shared
+    # columnar FEOL view instead of being re-extracted per call.
+    arrays = feol_arrays(view)
+    sink_x = arrays.sink_xy[:, 0]
+    sink_y = arrays.sink_xy[:, 1]
+    drv_x = arrays.driver_xy[:, 0]
+    drv_y = arrays.driver_xy[:, 1]
     delta_x = sink_x[:, None] - drv_x[None, :]
     delta_y = sink_y[:, None] - drv_y[None, :]
     distance = np.abs(delta_x) + np.abs(delta_y)
@@ -215,20 +218,12 @@ def build_cost_matrix(view: FEOLView,
         unit_x = delta_x / safe_norm
         unit_y = delta_y / safe_norm
 
-        drv_dir_x = np.asarray([
-            vpin.direction[0] if vpin.direction is not None else 0.0 for vpin in drivers
-        ])
-        drv_dir_y = np.asarray([
-            vpin.direction[1] if vpin.direction is not None else 0.0 for vpin in drivers
-        ])
-        drv_has_dir = np.asarray([vpin.direction is not None for vpin in drivers])
-        sink_dir_x = np.asarray([
-            vpin.direction[0] if vpin.direction is not None else 0.0 for vpin in sinks
-        ])
-        sink_dir_y = np.asarray([
-            vpin.direction[1] if vpin.direction is not None else 0.0 for vpin in sinks
-        ])
-        sink_has_dir = np.asarray([vpin.direction is not None for vpin in sinks])
+        drv_dir_x = arrays.driver_dir[:, 0]
+        drv_dir_y = arrays.driver_dir[:, 1]
+        drv_has_dir = arrays.driver_has_dir
+        sink_dir_x = arrays.sink_dir[:, 0]
+        sink_dir_y = arrays.sink_dir[:, 1]
+        sink_has_dir = arrays.sink_has_dir
 
         drv_cos = drv_dir_x[None, :] * unit_x + drv_dir_y[None, :] * unit_y
         # The sink's stub should point back towards the driver.
@@ -255,16 +250,18 @@ def build_cost_matrix(view: FEOLView,
     cost[distance > config.timing_fraction * half_perimeter] += config.timing_penalty
 
     if config.use_load_hint:
-        sink_cap = np.asarray([vpin.capacitance_ff for vpin in sinks])
-        drv_load = np.asarray([vpin.max_load_ff for vpin in drivers])
+        sink_cap = arrays.sink_cap
+        drv_load = arrays.driver_max_load
         infeasible |= (drv_load[None, :] > 0) & (sink_cap[:, None] > drv_load[None, :])
 
-    sink_gates = [vpin.gate for vpin in sinks]
-    driver_gates = [vpin.gate for vpin in drivers]
-    same_gate = np.asarray([
-        [sg is not None and sg == dg for dg in driver_gates] for sg in sink_gates
-    ], dtype=bool)
-    infeasible |= same_gate  # direct self-loops
+    # Direct self-loops: sink and driver vpins owned by the same gate.  The
+    # integer gate indices of the columnar view (-1 for port terminals) make
+    # this a broadcast compare instead of a per-pair string comparison.
+    same_gate = (
+        (arrays.sink_gate_idx[:, None] >= 0)
+        & (arrays.sink_gate_idx[:, None] == arrays.driver_gate_idx[None, :])
+    )
+    infeasible |= same_gate
     if config.use_loop_hint:
         # Combinational loops through visible logic.
         infeasible |= _loop_exclusion_matrix(view, sinks, drivers)
@@ -292,26 +289,26 @@ def network_flow_attack(view: FEOLView,
 
     # Fanout capacity per driver: bounded by the flow capacity and, when the
     # load hint is enabled, by how many typical sink loads the driver can take.
-    capacities: List[int] = []
     typical_cap = 1.2
-    for driver in drivers:
-        capacity = config.max_fanout_per_driver
-        if config.use_load_hint and driver.max_load_ff > 0:
-            capacity = min(capacity, max(1, int(driver.max_load_ff / typical_cap / 4)))
-        capacities.append(capacity)
-    total_capacity = sum(capacities)
+    arrays = feol_arrays(view)
+    capacities = np.full(len(drivers), config.max_fanout_per_driver, dtype=np.int64)
+    if config.use_load_hint:
+        load_bound = np.maximum(
+            1, (arrays.driver_max_load / typical_cap / 4).astype(np.int64)
+        )
+        has_load = arrays.driver_max_load > 0
+        capacities[has_load] = np.minimum(capacities[has_load], load_bound[has_load])
+    total_capacity = int(capacities.sum())
     if total_capacity < len(sinks):
         # Ensure feasibility: scale capacities up uniformly.
         scale = int(math.ceil(len(sinks) / max(total_capacity, 1)))
-        capacities = [c * scale for c in capacities]
+        capacities *= scale
 
     # Expand drivers into capacity slots and solve a rectangular assignment.
-    slot_driver_index: List[int] = []
-    for index, capacity in enumerate(capacities):
-        slot_driver_index.extend([index] * capacity)
+    slot_driver_index = np.repeat(np.arange(len(drivers), dtype=np.intp), capacities)
 
     base_costs, excluded = build_cost_matrix(view, config)
-    cost = base_costs[:, np.asarray(slot_driver_index, dtype=np.intp)]
+    cost = base_costs[:, slot_driver_index]
 
     row_ind, col_ind = linear_sum_assignment(cost)
     assignment: Dict[int, int] = {}

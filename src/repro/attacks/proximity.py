@@ -6,6 +6,16 @@ loop reasoning, no global assignment — each sink vpin independently picks the
 closest driver vpin.  On well-placed unprotected layouts it already recovers
 a large fraction of the missing BEOL connections, which is precisely the
 observation that motivated split-manufacturing attacks in the first place.
+
+Tie-breaking is explicitly deterministic: when several drivers are at the
+same (minimal) Manhattan distance from a sink, the **first driver in
+``view.driver_vpins`` order wins** — i.e. the driver vpin with the lowest
+list position, which for FEOL views produced by :func:`~repro.sm.split.
+extract_feol` is also the lowest vpin identifier.  The vectorized
+implementation (a batched nearest-driver query against the shared
+:class:`~repro.layout.arrays.UniformGridIndex` of the FEOL view) and the
+reference double loop both implement exactly this rule, so their assignments
+are bit-exact equal (see ``tests/test_layout_arrays.py``).
 """
 
 from __future__ import annotations
@@ -14,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.layout.geometry import manhattan
-from repro.sm.split import FEOLView
+from repro.sm.split import FEOLView, feol_arrays
 
 
 @dataclass
@@ -34,7 +44,36 @@ def proximity_attack(view: FEOLView) -> ProximityAttackResult:
 
     Sinks on the same gate as a candidate driver are not excluded and no
     consistency constraints are enforced — this is deliberately the naive
-    attack.
+    attack.  Distance ties resolve to the first driver in
+    ``view.driver_vpins`` order (see the module docstring).
+
+    The computation is a batched nearest-neighbor query over the columnar
+    vpin arrays: a uniform-grid spatial index over the driver positions
+    answers all sink queries at once, replacing the historical
+    O(sinks x drivers) Python double loop (kept as
+    :func:`proximity_attack_reference`) with identical results.
+    """
+    result = ProximityAttackResult(
+        num_sinks=len(view.sink_vpins), num_drivers=len(view.driver_vpins)
+    )
+    if not view.driver_vpins or not view.sink_vpins:
+        return result
+    arrays = feol_arrays(view)
+    nearest, _distances = arrays.driver_grid().nearest(arrays.sink_xy)
+    driver_ids = arrays.driver_ids[nearest]
+    result.assignment = {
+        int(sink_id): int(driver_id)
+        for sink_id, driver_id in zip(arrays.sink_ids, driver_ids)
+    }
+    return result
+
+
+def proximity_attack_reference(view: FEOLView) -> ProximityAttackResult:
+    """Reference implementation: the historical per-pair double loop.
+
+    Kept for equivalence testing and benchmarking; the strict ``<``
+    comparison makes the first driver with the minimal distance win, which is
+    the tie-breaking rule the vectorized path reproduces.
     """
     result = ProximityAttackResult(
         num_sinks=len(view.sink_vpins), num_drivers=len(view.driver_vpins)

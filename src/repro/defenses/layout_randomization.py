@@ -108,6 +108,7 @@ def layout_randomization_defense(
             positions[first], positions[second] = positions[second], positions[first]
             swapped += 1
     placement.gate_positions = positions
+    placement.bump_geometry_version()
 
     routing = route(netlist, placement, RouterConfig())
     return Layout(

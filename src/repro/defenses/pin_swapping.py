@@ -56,6 +56,7 @@ def pin_swapping_defense(
         positions[first], positions[second] = positions[second], positions[first]
         swapped_ports.extend((first, second))
     placement.port_positions = positions
+    placement.bump_geometry_version()
 
     # Nets attached to swapped ports are re-routed through higher layers.
     min_layer: Dict[str, int] = {}

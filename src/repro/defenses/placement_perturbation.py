@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.layout.floorplan import Floorplan, build_floorplan
 from repro.layout.geometry import Point
 from repro.layout.layout import Layout
@@ -63,16 +65,28 @@ def placement_perturbation_defense(
     max_dx = die.width * max_displacement_fraction
     max_dy = die.height * max_displacement_fraction
     perturbed: Dict[str, Point] = dict(placement.gate_positions)
-    for gate in gate_names[:num_perturbed]:
-        position = perturbed[gate]
-        candidate = Point(
-            position.x + rng.uniform(-max_dx, max_dx),
-            position.y + rng.uniform(-max_dy, max_dy),
+    selected = gate_names[:num_perturbed]
+    if selected:
+        # The random offsets keep the legacy draw order (x then y per gate);
+        # displacement, die clamping and row snapping happen in one pass over
+        # the coordinate arrays — the same clip/round-half-even operations the
+        # per-gate Point loop performed, so the result is bit-identical.
+        base = np.asarray(
+            [(perturbed[g].x, perturbed[g].y) for g in selected], dtype=np.float64
         )
-        snapped = die.clamp(candidate)
-        row = floorplan.nearest_row(snapped.y)
-        perturbed[gate] = Point(snapped.x, floorplan.row_y(row))
+        offsets = np.asarray(
+            [(rng.uniform(-max_dx, max_dx), rng.uniform(-max_dy, max_dy))
+             for _gate in selected],
+            dtype=np.float64,
+        )
+        moved = base + offsets
+        new_x = np.clip(moved[:, 0], die.x_min, die.x_max)
+        snapped_y = np.clip(moved[:, 1], die.y_min, die.y_max)
+        new_y = floorplan.row_ys(floorplan.nearest_rows(snapped_y))
+        for gate, gx, gy in zip(selected, new_x, new_y):
+            perturbed[gate] = Point(float(gx), float(gy))
     placement.gate_positions = perturbed
+    placement.bump_geometry_version()
 
     routing = route(netlist, placement, RouterConfig())
     return Layout(

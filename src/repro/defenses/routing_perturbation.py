@@ -15,13 +15,15 @@ directions still succeeds on most nets.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.layout.floorplan import Floorplan, build_floorplan
 from repro.layout.geometry import Point
 from repro.layout.layout import Layout
 from repro.layout.placer import PlacerConfig, place
-from repro.layout.router import RouterConfig, route
+from repro.layout.router import RouterConfig, RoutedConnection, route
 from repro.netlist.netlist import Netlist
 from repro.utils.rng import make_rng
 
@@ -59,27 +61,34 @@ def routing_perturbation_defense(
     routing = route(netlist, placement, RouterConfig(), min_layer)
 
     # Re-aim the FEOL stub hints of perturbed connections at decoy points.
+    # Nets are visited in sorted order (the historical set iteration depended
+    # on string-hash randomization across processes); the random offsets keep
+    # one draw order per connection while the anchor + offset computation and
+    # die clamping run in a single pass over the coordinate arrays.
     die = floorplan.die
     decoy_reach = floorplan.half_perimeter_um * decoy_distance_fraction
-    for net_name in perturbed:
+    connections: List[RoutedConnection] = []
+    for net_name in sorted(perturbed):
         routed = routing.get(net_name)
-        if routed is None:
-            continue
-        for connection in routed.connections:
-            decoy = Point(
-                min(max(connection.target.x + rng.uniform(-decoy_reach, decoy_reach),
-                        die.x_min), die.x_max),
-                min(max(connection.target.y + rng.uniform(-decoy_reach, decoy_reach),
-                        die.y_min), die.y_max),
-            )
-            connection.source_hint = decoy
-            decoy_back = Point(
-                min(max(connection.source.x + rng.uniform(-decoy_reach, decoy_reach),
-                        die.x_min), die.x_max),
-                min(max(connection.source.y + rng.uniform(-decoy_reach, decoy_reach),
-                        die.y_min), die.y_max),
-            )
-            connection.target_hint = decoy_back
+        if routed is not None:
+            connections.extend(routed.connections)
+    if connections:
+        # Anchors: (target.x, target.y, source.x, source.y) per connection.
+        anchors = np.asarray(
+            [(c.target.x, c.target.y, c.source.x, c.source.y) for c in connections],
+            dtype=np.float64,
+        )
+        offsets = np.asarray(
+            [[rng.uniform(-decoy_reach, decoy_reach) for _ in range(4)]
+             for _c in connections],
+            dtype=np.float64,
+        )
+        decoys = anchors + offsets
+        decoys[:, 0::2] = np.clip(decoys[:, 0::2], die.x_min, die.x_max)
+        decoys[:, 1::2] = np.clip(decoys[:, 1::2], die.y_min, die.y_max)
+        for connection, (sx, sy, tx, ty) in zip(connections, decoys):
+            connection.source_hint = Point(float(sx), float(sy))
+            connection.target_hint = Point(float(tx), float(ty))
 
     return Layout(
         name=f"{netlist.name}_routing_perturbed",

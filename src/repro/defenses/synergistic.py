@@ -52,10 +52,12 @@ def synergistic_defense(
     rng.shuffle(net_names)
     protected: Set[str] = set(net_names[: int(len(net_names) * protect_fraction)])
 
-    # Placement component: displace the sink gates of protected nets.
+    # Placement component: displace the sink gates of protected nets.  Nets
+    # are visited in sorted order so the RNG stream (and therefore the
+    # layout) is independent of string-hash randomization across processes.
     reach = floorplan.half_perimeter_um * displacement_fraction
     positions = dict(placement.gate_positions)
-    for net_name in protected:
+    for net_name in sorted(protected):
         for sink_gate, _pin in netlist.nets[net_name].sinks:
             if sink_gate not in positions:
                 continue
@@ -68,11 +70,12 @@ def synergistic_defense(
             row = floorplan.nearest_row(snapped.y)
             positions[sink_gate] = Point(snapped.x, floorplan.row_y(row))
     placement.gate_positions = positions
+    placement.bump_geometry_version()
 
     # Routing component: lift protected nets and aim their stubs at decoys.
     min_layer = {name: lift_layer for name in protected}
     routing = route(netlist, placement, RouterConfig(), min_layer)
-    for net_name in protected:
+    for net_name in sorted(protected):
         routed = routing.get(net_name)
         if routed is None:
             continue

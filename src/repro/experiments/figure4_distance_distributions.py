@@ -9,7 +9,9 @@ values, proposed spreads up to the die diagonal) plus fixed-width histograms.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.experiments.common import ExperimentConfig, protection_artifacts
 from repro.metrics.distances import distance_histogram, distance_stats
@@ -23,12 +25,20 @@ PERCENTILES = (10, 25, 50, 75, 90, 95, 99, 100)
 DEFAULT_BENCHMARK = "superblue18"
 
 
-def _percentile(values: List[float], percentile: float) -> float:
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, int(round(percentile / 100.0 * (len(ordered) - 1))))
-    return ordered[index]
+def _percentile_series(values: Sequence[float],
+                       percentiles: Sequence[float]) -> List[float]:
+    """All requested percentiles from one sort (nearest-rank convention).
+
+    Sorting once and gathering every percentile index replaces the historical
+    one-sort-per-percentile helper; the selected elements are identical.
+    """
+    if not len(values):
+        return [0.0] * len(percentiles)
+    ordered = np.sort(np.asarray(values, dtype=np.float64))
+    top = len(ordered) - 1
+    return [
+        float(ordered[min(top, int(round(p / 100.0 * top)))]) for p in percentiles
+    ]
 
 
 def run(config: Optional[ExperimentConfig] = None,
@@ -50,7 +60,8 @@ def run(config: Optional[ExperimentConfig] = None,
         if layout is None:
             continue
         stats = distance_stats(layout, protected_nets)
-        table.add_row([label, *[round(_percentile(stats.values, p), 2) for p in PERCENTILES]])
+        series = _percentile_series(stats.values, PERCENTILES)
+        table.add_row([label, *[round(value, 2) for value in series]])
     return table
 
 

@@ -4,6 +4,9 @@ This package stands in for the Cadence Innovus flow of the paper.  It is a
 simplified but complete physical-design pipeline:
 
 * :mod:`repro.layout.geometry` — points, rectangles, Manhattan distance;
+* :mod:`repro.layout.arrays` — the columnar geometry core: cached NumPy
+  views of placements/layouts plus a uniform-grid spatial index, behind the
+  ``geometry_version`` invalidation contract;
 * :mod:`repro.layout.floorplan` — die outline, rows and sites derived from
   cell area and a target utilization;
 * :mod:`repro.layout.placer` — quadratic/force-directed global placement with
@@ -18,6 +21,12 @@ simplified but complete physical-design pipeline:
 """
 
 from repro.layout.geometry import Point, Rect, manhattan
+from repro.layout.arrays import (
+    LayoutArrays,
+    PlacementArrays,
+    UniformGridIndex,
+    placement_arrays,
+)
 from repro.layout.floorplan import Floorplan, build_floorplan
 from repro.layout.placer import PlacementResult, place
 from repro.layout.router import (
@@ -35,6 +44,10 @@ __all__ = [
     "Point",
     "Rect",
     "manhattan",
+    "LayoutArrays",
+    "PlacementArrays",
+    "UniformGridIndex",
+    "placement_arrays",
     "Floorplan",
     "build_floorplan",
     "PlacementResult",

@@ -1,0 +1,639 @@
+"""Columnar geometry core: array-backed views of placements and layouts.
+
+Every geometry-heavy consumer in the repository — the proximity attacks, the
+Table 1 / Fig. 4 distance metrics, HPWL and wirelength accounting, the
+placer's legality check and the perturbation defenses — historically walked
+per-object :class:`~repro.layout.geometry.Point` structures pair by pair in
+Python.  This module provides the columnar alternative:
+
+* :class:`PlacementArrays` — NumPy coordinate/width/row arrays for every
+  placed gate and I/O port, plus the netlist's driver→sink connection pairs
+  and per-net terminal lists in CSR form, all in the same deterministic
+  iteration order the legacy per-object loops used (so vectorized consumers
+  are bit-exact drop-ins);
+* :class:`LayoutArrays` — :class:`PlacementArrays` plus routed-segment and
+  via columns (layer, length, owning-net index);
+* :class:`UniformGridIndex` — a uniform-grid spatial index over 2-D points
+  for batched Manhattan nearest-neighbor and range queries, with
+  first-occurrence (lowest index) tie-breaking that matches a naive
+  ``for``-loop scan with a strict ``<`` comparison.
+
+Caching and the ``geometry_version`` contract
+--------------------------------------------
+
+Building the arrays is linear in the design size, so the views are cached:
+
+* :func:`placement_arrays` caches on the :class:`PlacementResult`, keyed by
+  ``(netlist.name, netlist.topology_version, placement.geometry_version)``;
+* :meth:`Layout.arrays <repro.layout.layout.Layout.arrays>` caches on the
+  :class:`~repro.layout.layout.Layout`, additionally keyed by the layout's
+  own ``geometry_version``.
+
+``geometry_version`` mirrors PR 1's ``topology_version`` contract on the
+netlist side: **any code that moves gates, re-routes nets, or otherwise
+mutates geometry in place must call ``bump_geometry_version()`` on the
+object it mutated** so stale array views are never consumed.  The
+perturbation defenses and every in-repo mutation site already comply; new
+defenses must follow suit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.layout.placer import PlacementResult
+    from repro.layout.router import RoutedNet
+
+
+#: Attribute name under which cached array views are stored on their owning
+#: objects.  Excluded from pickles (see ``__getstate__`` on the owners).
+GEOMETRY_CACHE_ATTR = "_geometry_cache"
+
+
+# ---------------------------------------------------------------------------
+# Uniform-grid spatial index
+# ---------------------------------------------------------------------------
+
+
+class UniformGridIndex:
+    """Uniform-grid spatial index over 2-D points (Manhattan metric).
+
+    The grid buckets points into roughly ``sqrt(n) x sqrt(n)`` cells; nearest
+    queries expand Chebyshev rings of cells around the query cell and stop as
+    soon as the next ring's distance lower bound strictly exceeds the best
+    distance found, so equal-distance candidates in farther rings are still
+    visited.  Ties are broken by the **lowest point index**, which makes the
+    result identical to a naive first-occurrence scan
+    (``if distance < best: best = ...``) over the points in input order.
+
+    For small problems (``n * m`` distance evaluations below
+    :data:`BRUTE_FORCE_LIMIT`) nearest queries fall back to a chunked
+    vectorized brute-force pass, which has the same tie-breaking semantics
+    (``np.argmin`` returns the first minimum).
+    """
+
+    #: Below this many pairwise distance evaluations a batched brute-force
+    #: pass beats the per-query ring walk.
+    BRUTE_FORCE_LIMIT = 1_000_000
+
+    def __init__(self, xy: np.ndarray, cell_size: Optional[float] = None):
+        xy = np.ascontiguousarray(np.asarray(xy, dtype=np.float64))
+        if xy.ndim != 2 or xy.shape[1] != 2:
+            raise ValueError("xy must have shape (n, 2)")
+        self.xy = xy
+        self.num_points = len(xy)
+        if self.num_points == 0:
+            self.x_min = self.y_min = 0.0
+            self.cell_x = self.cell_y = 1.0
+            self.nx = self.ny = 1
+            self._order = np.empty(0, dtype=np.intp)
+            self._starts = np.zeros(2, dtype=np.intp)
+            return
+        self.x_min = float(xy[:, 0].min())
+        self.y_min = float(xy[:, 1].min())
+        span_x = max(float(xy[:, 0].max()) - self.x_min, 1e-9)
+        span_y = max(float(xy[:, 1].max()) - self.y_min, 1e-9)
+        if cell_size is None:
+            # Target roughly one point per cell.
+            cell_size = max(math.sqrt(span_x * span_y / self.num_points), 1e-9)
+        # Cap cells per axis so degenerate (near-collinear) point sets cannot
+        # blow the grid up to O(span_x/span_y * n) cells: the product stays
+        # O(n) and the ring-walk bounds use the actual cell pitches below.
+        max_cells_per_axis = max(1, int(math.ceil(4.0 * math.sqrt(self.num_points))))
+        self.nx = min(max(1, int(math.ceil(span_x / cell_size))), max_cells_per_axis)
+        self.ny = min(max(1, int(math.ceil(span_y / cell_size))), max_cells_per_axis)
+        self.cell_x = span_x / self.nx
+        self.cell_y = span_y / self.ny
+        ix = self._axis_cells(xy[:, 0], self.x_min, self.cell_x, self.nx)
+        iy = self._axis_cells(xy[:, 1], self.y_min, self.cell_y, self.ny)
+        cell_id = iy * self.nx + ix
+        # Stable sort: within a cell, points stay in ascending input order.
+        self._order = np.argsort(cell_id, kind="stable").astype(np.intp)
+        counts = np.bincount(cell_id, minlength=self.nx * self.ny)
+        self._starts = np.concatenate(
+            ([0], np.cumsum(counts))
+        ).astype(np.intp)
+
+    @staticmethod
+    def _axis_cells(values: np.ndarray, origin: float, pitch: float,
+                    count: int) -> np.ndarray:
+        cells = np.floor((values - origin) / pitch).astype(np.int64)
+        return np.clip(cells, 0, count - 1)
+
+    def _row_span(self, iy: int, x0: int, x1: int) -> np.ndarray:
+        """Point indices of cells ``(x0..x1, iy)`` — contiguous in the order array."""
+        base = iy * self.nx
+        return self._order[self._starts[base + x0]: self._starts[base + x1 + 1]]
+
+    # -- nearest ------------------------------------------------------------
+    def nearest(self, query_xy: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched Manhattan nearest neighbor for every query point.
+
+        Returns ``(indices, distances)``; ties resolve to the lowest point
+        index (first occurrence in the input order).
+        """
+        if self.num_points == 0:
+            raise ValueError("nearest query on an empty index")
+        query = np.ascontiguousarray(np.asarray(query_xy, dtype=np.float64))
+        if query.ndim != 2 or query.shape[1] != 2:
+            raise ValueError("query_xy must have shape (m, 2)")
+        m = len(query)
+        if m == 0:
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64)
+        if m * self.num_points <= self.BRUTE_FORCE_LIMIT:
+            return self._nearest_brute(query)
+        indices = np.empty(m, dtype=np.intp)
+        distances = np.empty(m, dtype=np.float64)
+        qix = self._axis_cells(query[:, 0], self.x_min, self.cell_x, self.nx)
+        qiy = self._axis_cells(query[:, 1], self.y_min, self.cell_y, self.ny)
+        xs = self.xy[:, 0]
+        ys = self.xy[:, 1]
+        min_pitch = min(self.cell_x, self.cell_y)
+        max_ring = max(self.nx, self.ny)
+        for i in range(m):
+            qx = query[i, 0]
+            qy = query[i, 1]
+            cx = int(qix[i])
+            cy = int(qiy[i])
+            best_idx = -1
+            best_dist = math.inf
+            ring = 0
+            while True:
+                candidates = self._ring_candidates(cx, cy, ring)
+                if candidates.size:
+                    # Ascending original index so argmin == lowest-index tie.
+                    candidates = np.sort(candidates)
+                    dist = (
+                        np.abs(qx - xs[candidates]) + np.abs(qy - ys[candidates])
+                    )
+                    j = int(np.argmin(dist))
+                    d = float(dist[j])
+                    c = int(candidates[j])
+                    if d < best_dist or (d == best_dist and c < best_idx):
+                        best_dist = d
+                        best_idx = c
+                ring += 1
+                if ring > max_ring:
+                    break
+                # Points in ring ``r`` are at Manhattan distance of at least
+                # ``(r - 1) * min_pitch``; only stop once that lower bound
+                # *strictly* exceeds the best distance, so ties in farther
+                # rings (which could carry a lower index) are still seen.
+                if best_idx >= 0 and (ring - 1) * min_pitch > best_dist:
+                    break
+            indices[i] = best_idx
+            distances[i] = best_dist
+        return indices, distances
+
+    def _ring_candidates(self, cx: int, cy: int, ring: int) -> np.ndarray:
+        """Point indices of the cells at Chebyshev cell-distance ``ring``."""
+        if ring == 0:
+            return self._row_span(cy, cx, cx)
+        spans: List[np.ndarray] = []
+        x0 = max(cx - ring, 0)
+        x1 = min(cx + ring, self.nx - 1)
+        top = cy - ring
+        bottom = cy + ring
+        if top >= 0:
+            spans.append(self._row_span(top, x0, x1))
+        if bottom <= self.ny - 1 and bottom != top:
+            spans.append(self._row_span(bottom, x0, x1))
+        y0 = max(top + 1, 0)
+        y1 = min(bottom - 1, self.ny - 1)
+        left = cx - ring
+        right = cx + ring
+        for iy in range(y0, y1 + 1):
+            if left >= 0:
+                spans.append(self._row_span(iy, left, left))
+            if right <= self.nx - 1 and right != left:
+                spans.append(self._row_span(iy, right, right))
+        if not spans:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate(spans)
+
+    def _nearest_brute(self, query: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Chunked vectorized brute force (same tie-breaking as the grid walk)."""
+        m = len(query)
+        indices = np.empty(m, dtype=np.intp)
+        distances = np.empty(m, dtype=np.float64)
+        chunk = max(1, self.BRUTE_FORCE_LIMIT // max(self.num_points, 1))
+        xs = self.xy[:, 0][None, :]
+        ys = self.xy[:, 1][None, :]
+        for start in range(0, m, chunk):
+            stop = min(start + chunk, m)
+            block = query[start:stop]
+            dist = (
+                np.abs(block[:, 0][:, None] - xs)
+                + np.abs(block[:, 1][:, None] - ys)
+            )
+            idx = np.argmin(dist, axis=1)
+            indices[start:stop] = idx
+            distances[start:stop] = dist[np.arange(len(block)), idx]
+        return indices, distances
+
+    # -- range --------------------------------------------------------------
+    def query_radius(self, x: float, y: float, radius: float) -> np.ndarray:
+        """Indices of all points within Manhattan distance ``radius`` of (x, y).
+
+        Returned in ascending index order.
+        """
+        if self.num_points == 0 or radius < 0:
+            return np.empty(0, dtype=np.intp)
+        x0 = int(np.clip(math.floor((x - radius - self.x_min) / self.cell_x), 0, self.nx - 1))
+        x1 = int(np.clip(math.floor((x + radius - self.x_min) / self.cell_x), 0, self.nx - 1))
+        y0 = int(np.clip(math.floor((y - radius - self.y_min) / self.cell_y), 0, self.ny - 1))
+        y1 = int(np.clip(math.floor((y + radius - self.y_min) / self.cell_y), 0, self.ny - 1))
+        spans = [self._row_span(iy, x0, x1) for iy in range(y0, y1 + 1)]
+        candidates = np.concatenate(spans) if spans else np.empty(0, dtype=np.intp)
+        if not candidates.size:
+            return candidates
+        dist = (
+            np.abs(x - self.xy[candidates, 0]) + np.abs(y - self.xy[candidates, 1])
+        )
+        return np.sort(candidates[dist <= radius])
+
+
+# ---------------------------------------------------------------------------
+# Placement arrays
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlacementSkeleton:
+    """The geometry-independent half of a placement view.
+
+    Names, index maps, connection pairs, HPWL terminal indices and cell
+    widths depend only on the netlist topology and the *set/order* of placed
+    objects — not on their coordinates — so they survive pure geometry edits
+    (gate moves) and are cached separately from the coordinate columns.
+    """
+
+    gate_names: List[str]
+    gate_index: Dict[str, int]
+    gate_widths: np.ndarray    # (num_gates,) float64 (0.0 for unknown gates)
+    #: Placed gate names absent from the netlist (consumers that need strict
+    #: name resolution, e.g. the legality check, raise on these).
+    missing_gates: List[str]
+    port_names: List[str]
+    port_index: Dict[str, int]
+    net_names: List[str]
+    net_index_by_name: Dict[str, int]
+    #: Driver→sink gate connection pairs (indices into the gate arrays).
+    pair_driver: np.ndarray    # (num_pairs,) intp
+    pair_sink: np.ndarray      # (num_pairs,) intp
+    pair_net: np.ndarray       # (num_pairs,) intp — index into net_names
+    #: Per-net terminal indices into the combined gate+port coordinate table
+    #: (driver / PI port, sink gates, PO ports) in CSR form.
+    term_indices: np.ndarray   # (num_terms,) intp
+    term_offsets: np.ndarray   # (num_nets + 1,) intp
+
+    @staticmethod
+    def build(netlist: Netlist, placement: "PlacementResult") -> "PlacementSkeleton":
+        gate_names = list(placement.gate_positions)
+        gate_index = {name: i for i, name in enumerate(gate_names)}
+        gates = netlist.gates
+        gate_widths = np.asarray(
+            [gates[name].cell.width_um if name in gates else 0.0
+             for name in gate_names],
+            dtype=np.float64,
+        )
+        missing_gates = [name for name in gate_names if name not in gates]
+        port_names = list(placement.port_positions)
+        port_index = {name: i for i, name in enumerate(port_names)}
+
+        num_gates = len(gate_names)
+        net_names: List[str] = []
+        pair_driver: List[int] = []
+        pair_sink: List[int] = []
+        pair_net: List[int] = []
+        term_idx: List[int] = []
+        term_offsets: List[int] = [0]
+        for net_idx, (net_name, net) in enumerate(netlist.nets.items()):
+            net_names.append(net_name)
+            # -- connection pairs (gate driver → gate sinks), legacy order --
+            driver_idx = (
+                gate_index.get(net.driver[0]) if net.driver is not None else None
+            )
+            if driver_idx is not None:
+                for sink_gate, _pin in net.sinks:
+                    sink_idx = gate_index.get(sink_gate)
+                    if sink_idx is not None:
+                        pair_driver.append(driver_idx)
+                        pair_sink.append(sink_idx)
+                        pair_net.append(net_idx)
+            # -- HPWL terminals, legacy order -------------------------------
+            if driver_idx is not None:
+                term_idx.append(driver_idx)
+            elif net.is_primary_input:
+                pi = port_index.get(net.name)
+                if pi is not None:
+                    term_idx.append(num_gates + pi)
+            for sink_gate, _pin in net.sinks:
+                sink_idx = gate_index.get(sink_gate)
+                if sink_idx is not None:
+                    term_idx.append(sink_idx)
+            for po in net.primary_outputs:
+                pi = port_index.get(po)
+                if pi is not None:
+                    term_idx.append(num_gates + pi)
+            term_offsets.append(len(term_idx))
+
+        return PlacementSkeleton(
+            gate_names=gate_names,
+            gate_index=gate_index,
+            gate_widths=gate_widths,
+            missing_gates=missing_gates,
+            port_names=port_names,
+            port_index=port_index,
+            net_names=net_names,
+            net_index_by_name={name: i for i, name in enumerate(net_names)},
+            pair_driver=np.asarray(pair_driver, dtype=np.intp),
+            pair_sink=np.asarray(pair_sink, dtype=np.intp),
+            pair_net=np.asarray(pair_net, dtype=np.intp),
+            term_indices=np.asarray(term_idx, dtype=np.intp),
+            term_offsets=np.asarray(term_offsets, dtype=np.intp),
+        )
+
+
+def _placement_skeleton(netlist: Netlist,
+                        placement: "PlacementResult") -> PlacementSkeleton:
+    """Cached :class:`PlacementSkeleton` (survives geometry-only edits)."""
+    key = (
+        netlist.name,
+        netlist.topology_version,
+        len(placement.gate_positions),
+        len(placement.port_positions),
+    )
+    cached = placement.__dict__.get("_skeleton_cache")
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    skeleton = PlacementSkeleton.build(netlist, placement)
+    placement.__dict__["_skeleton_cache"] = (key, skeleton)
+    return skeleton
+
+
+@dataclass
+class PlacementArrays:
+    """Array-backed view of a placement against one netlist.
+
+    All orderings are deterministic and mirror the legacy per-object loops:
+    gates follow ``placement.gate_positions`` insertion order, ports follow
+    ``placement.port_positions``, connection pairs follow
+    ``netlist.nets`` iteration order (driver first, then ``net.sinks`` order)
+    — so vectorized consumers reproduce the historical results bit-exactly.
+
+    The view is split into the geometry-independent :class:`PlacementSkeleton`
+    (shared across pure gate moves) and the coordinate columns rebuilt per
+    ``geometry_version``.
+    """
+
+    skeleton: PlacementSkeleton
+    gate_xy: np.ndarray        # (num_gates, 2) float64
+    port_xy: np.ndarray        # (num_ports, 2) float64
+    #: Per-net terminal coordinates (CSR with ``term_offsets``).
+    term_x: np.ndarray         # (num_terms,) float64
+    term_y: np.ndarray         # (num_terms,) float64
+    _gate_grid: Optional[UniformGridIndex] = field(default=None, repr=False)
+    _pair_distances: Optional[np.ndarray] = field(default=None, repr=False)
+
+    # -- skeleton delegation (public API kept flat) -------------------------
+    @property
+    def gate_names(self) -> List[str]:
+        return self.skeleton.gate_names
+
+    @property
+    def gate_index(self) -> Dict[str, int]:
+        return self.skeleton.gate_index
+
+    @property
+    def gate_widths(self) -> np.ndarray:
+        return self.skeleton.gate_widths
+
+    @property
+    def port_names(self) -> List[str]:
+        return self.skeleton.port_names
+
+    @property
+    def net_names(self) -> List[str]:
+        return self.skeleton.net_names
+
+    @property
+    def net_index_by_name(self) -> Dict[str, int]:
+        return self.skeleton.net_index_by_name
+
+    @property
+    def pair_driver(self) -> np.ndarray:
+        return self.skeleton.pair_driver
+
+    @property
+    def pair_sink(self) -> np.ndarray:
+        return self.skeleton.pair_sink
+
+    @property
+    def pair_net(self) -> np.ndarray:
+        return self.skeleton.pair_net
+
+    @property
+    def term_offsets(self) -> np.ndarray:
+        return self.skeleton.term_offsets
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.skeleton.gate_names)
+
+    def gate_grid(self) -> UniformGridIndex:
+        """Lazily built spatial index over the gate positions."""
+        if self._gate_grid is None:
+            self._gate_grid = UniformGridIndex(self.gate_xy)
+        return self._gate_grid
+
+    def pair_distances(self) -> np.ndarray:
+        """Manhattan distance of every driver→sink connection pair (cached).
+
+        Elementwise ``|dx| + |dy|`` — the same IEEE operations, in the same
+        per-pair order, as the legacy ``manhattan(driver, sink)`` loop.
+        """
+        if self._pair_distances is None:
+            gx = self.gate_xy[:, 0]
+            gy = self.gate_xy[:, 1]
+            self._pair_distances = (
+                np.abs(gx[self.pair_driver] - gx[self.pair_sink])
+                + np.abs(gy[self.pair_driver] - gy[self.pair_sink])
+            )
+        return self._pair_distances
+
+    def pair_mask_for_nets(self, nets: Set[str]) -> np.ndarray:
+        """Boolean mask selecting the connection pairs of ``nets``."""
+        selected = np.asarray(
+            sorted(self.net_index_by_name[name] for name in nets
+                   if name in self.net_index_by_name),
+            dtype=np.intp,
+        )
+        return np.isin(self.pair_net, selected)
+
+    def net_hpwl(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-net HPWL over all nets with at least one placed terminal.
+
+        Returns ``(net_indices, hpwl)`` where nets with fewer than two
+        terminals are excluded (their HPWL is zero by the legacy convention).
+        """
+        counts = np.diff(self.term_offsets)
+        nonzero = counts > 0
+        if not nonzero.any():
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64)
+        starts = self.term_offsets[:-1][nonzero]
+        max_x = np.maximum.reduceat(self.term_x, starts)
+        min_x = np.minimum.reduceat(self.term_x, starts)
+        max_y = np.maximum.reduceat(self.term_y, starts)
+        min_y = np.minimum.reduceat(self.term_y, starts)
+        hpwl = (max_x - min_x) + (max_y - min_y)
+        valid = counts[nonzero] >= 2
+        return np.nonzero(nonzero)[0][valid].astype(np.intp), hpwl[valid]
+
+    @staticmethod
+    def build(netlist: Netlist, placement: "PlacementResult") -> "PlacementArrays":
+        skeleton = _placement_skeleton(netlist, placement)
+        # Coordinates are gathered in the skeleton's (insertion) gate order —
+        # by name, so a reordered-but-equal positions dict still lines up.
+        positions = placement.gate_positions
+        if skeleton.gate_names:
+            gate_xy = np.asarray(
+                [(positions[name].x, positions[name].y)
+                 for name in skeleton.gate_names],
+                dtype=np.float64,
+            )
+        else:
+            gate_xy = np.empty((0, 2), dtype=np.float64)
+        ports = placement.port_positions
+        if skeleton.port_names:
+            port_xy = np.asarray(
+                [(ports[name].x, ports[name].y) for name in skeleton.port_names],
+                dtype=np.float64,
+            )
+        else:
+            port_xy = np.empty((0, 2), dtype=np.float64)
+        if skeleton.term_indices.size:
+            combined_xy = np.concatenate([gate_xy, port_xy])
+            term_x = combined_xy[skeleton.term_indices, 0]
+            term_y = combined_xy[skeleton.term_indices, 1]
+        else:
+            term_x = np.empty(0, dtype=np.float64)
+            term_y = np.empty(0, dtype=np.float64)
+        return PlacementArrays(
+            skeleton=skeleton,
+            gate_xy=gate_xy,
+            port_xy=port_xy,
+            term_x=term_x,
+            term_y=term_y,
+        )
+
+
+def placement_arrays(netlist: Netlist, placement: "PlacementResult") -> PlacementArrays:
+    """Return the (cached) :class:`PlacementArrays` view of ``placement``.
+
+    The cache lives on the placement object and is keyed by the netlist
+    identity and both mutation counters; bumping
+    ``placement.geometry_version`` (or structurally editing the netlist)
+    invalidates it.
+    """
+    key = (netlist.name, netlist.topology_version, placement.geometry_version)
+    cached = placement.__dict__.get(GEOMETRY_CACHE_ATTR)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    arrays = PlacementArrays.build(netlist, placement)
+    placement.__dict__[GEOMETRY_CACHE_ATTR] = (key, arrays)
+    return arrays
+
+
+# ---------------------------------------------------------------------------
+# Layout arrays (placement + routing columns)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LayoutArrays:
+    """Array-backed view of a routed layout (placement + segment/via columns)."""
+
+    placement: PlacementArrays
+    routed_net_names: List[str]
+    routed_net_index: Dict[str, int]
+    seg_layer: np.ndarray    # (num_segments,) int64
+    seg_length: np.ndarray   # (num_segments,) float64
+    seg_net: np.ndarray      # (num_segments,) intp — index into routed_net_names
+    via_lower: np.ndarray    # (num_vias,) int64
+    via_net: np.ndarray      # (num_vias,) intp
+
+    def _selected_net_indices(self, nets: Set[str]) -> np.ndarray:
+        return np.asarray(
+            sorted(self.routed_net_index[name] for name in nets
+                   if name in self.routed_net_index),
+            dtype=np.intp,
+        )
+
+    def routed_net_mask(self, nets: Set[str]) -> np.ndarray:
+        """Boolean per-segment mask selecting segments of ``nets``."""
+        return np.isin(self.seg_net, self._selected_net_indices(nets))
+
+    def wirelength_by_layer(self, num_layers: int,
+                            nets: Optional[Set[str]] = None) -> Dict[int, float]:
+        """Routed wirelength per metal layer (µm), optionally net-restricted."""
+        if nets is None:
+            layers = self.seg_layer
+            lengths = self.seg_length
+        else:
+            mask = self.routed_net_mask(nets)
+            layers = self.seg_layer[mask]
+            lengths = self.seg_length[mask]
+        totals = np.bincount(layers, weights=lengths, minlength=num_layers + 1)
+        return {layer: float(totals[layer]) for layer in range(1, num_layers + 1)}
+
+    def via_counts(self, num_layers: int,
+                   nets: Optional[Set[str]] = None) -> Dict[Tuple[int, int], int]:
+        """Via count per adjacent layer pair, optionally net-restricted."""
+        if nets is None:
+            lowers = self.via_lower
+        else:
+            lowers = self.via_lower[
+                np.isin(self.via_net, self._selected_net_indices(nets))
+            ]
+        counts = np.bincount(lowers, minlength=num_layers)
+        return {
+            (layer, layer + 1): int(counts[layer])
+            for layer in range(1, num_layers)
+        }
+
+    @staticmethod
+    def build(netlist: Netlist, placement: "PlacementResult",
+              routing: Dict[str, "RoutedNet"]) -> "LayoutArrays":
+        base = placement_arrays(netlist, placement)
+        routed_net_names = list(routing)
+        seg_layer: List[int] = []
+        seg_length: List[float] = []
+        seg_net: List[int] = []
+        via_lower: List[int] = []
+        via_net: List[int] = []
+        for net_idx, routed in enumerate(routing.values()):
+            for segment in routed.all_segments():
+                seg_layer.append(segment.layer)
+                seg_length.append(segment.length)
+                seg_net.append(net_idx)
+            for via in routed.all_vias():
+                via_lower.append(via.lower)
+                via_net.append(net_idx)
+        return LayoutArrays(
+            placement=base,
+            routed_net_names=routed_net_names,
+            routed_net_index={name: i for i, name in enumerate(routed_net_names)},
+            seg_layer=np.asarray(seg_layer, dtype=np.int64),
+            seg_length=np.asarray(seg_length, dtype=np.float64),
+            seg_net=np.asarray(seg_net, dtype=np.intp),
+            via_lower=np.asarray(via_lower, dtype=np.int64),
+            via_net=np.asarray(via_net, dtype=np.intp),
+        )

@@ -16,6 +16,8 @@ import math
 from dataclasses import dataclass
 from typing import List
 
+import numpy as np
+
 from repro.layout.geometry import Point, Rect
 from repro.netlist.cells import ROW_HEIGHT_UM, SITE_WIDTH_UM
 from repro.netlist.netlist import Netlist
@@ -69,6 +71,19 @@ class Floorplan:
         """Return the index of the row whose band contains/nearest ``y``."""
         index = int(round((y - self.die.y_min) / self.row_height_um))
         return min(max(index, 0), self.num_rows - 1)
+
+    def nearest_rows(self, ys: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`nearest_row` (``np.rint`` is round-half-even,
+        like the scalar ``round``); the single source of row-snap truth for
+        array consumers."""
+        rows = np.rint(
+            (np.asarray(ys, dtype=np.float64) - self.die.y_min) / self.row_height_um
+        ).astype(np.int64)
+        return np.clip(rows, 0, self.num_rows - 1)
+
+    def row_ys(self, rows: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`row_y` (bottom edge of each row index)."""
+        return self.die.y_min + np.asarray(rows) * self.row_height_um
 
     def site_x(self, site_index: int) -> float:
         return self.die.x_min + site_index * self.site_width_um

@@ -19,8 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
+import numpy as np
+
+from repro.layout.arrays import LayoutArrays
 from repro.layout.floorplan import Floorplan, build_floorplan
-from repro.layout.geometry import Point, manhattan
+from repro.layout.geometry import Point
 from repro.layout.placer import PlacementResult, PlacerConfig, place
 from repro.layout.router import RoutedNet, RouterConfig, route
 from repro.netlist.cells import NUM_METAL_LAYERS
@@ -51,6 +54,47 @@ class Layout:
     protected_nets: Set[str] = field(default_factory=set)
     lift_layer: Optional[int] = None
     metadata: Dict[str, object] = field(default_factory=dict)
+    #: Monotonic counter bumped on every in-place mutation of the routing
+    #: (re-routes, segment edits).  Placement moves are tracked separately by
+    #: ``placement.geometry_version``; together the two counters key the
+    #: cached columnar view returned by :meth:`arrays`.
+    geometry_version: int = 0
+
+    def bump_geometry_version(self) -> int:
+        """Record an in-place routing/geometry mutation (invalidates caches)."""
+        self.geometry_version += 1
+        return self.geometry_version
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_geometry_cache", None)  # cached arrays are rebuilt lazily
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------
+    # Columnar view
+    # ------------------------------------------------------------------
+    def arrays(self) -> LayoutArrays:
+        """The cached array-backed view of this layout.
+
+        Rebuilt automatically whenever the netlist's ``topology_version``,
+        the placement's ``geometry_version`` or this layout's own
+        ``geometry_version`` changes; see :mod:`repro.layout.arrays` for the
+        invalidation contract.
+        """
+        key = (
+            self.netlist.topology_version,
+            self.placement.geometry_version,
+            self.geometry_version,
+        )
+        cached = self.__dict__.get("_geometry_cache")
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        arrays = LayoutArrays.build(self.netlist, self.placement, self.routing)
+        self.__dict__["_geometry_cache"] = (key, arrays)
+        return arrays
 
     # ------------------------------------------------------------------
     # Geometry queries
@@ -85,25 +129,16 @@ class Layout:
     # Wirelength / via accounting
     # ------------------------------------------------------------------
     def total_wirelength_um(self) -> float:
-        return sum(net.length for net in self.routing.values())
+        arrays = self.arrays()
+        return float(arrays.seg_length.sum()) if arrays.seg_length.size else 0.0
 
     def wirelength_by_layer(self) -> Dict[int, float]:
-        """Routed wirelength per metal layer (µm)."""
-        totals: Dict[int, float] = {layer: 0.0 for layer in range(1, NUM_METAL_LAYERS + 1)}
-        for routed in self.routing.values():
-            for layer, length in routed.wirelength_by_layer().items():
-                totals[layer] = totals.get(layer, 0.0) + length
-        return totals
+        """Routed wirelength per metal layer (µm) — one bincount pass."""
+        return self.arrays().wirelength_by_layer(NUM_METAL_LAYERS)
 
     def via_counts(self) -> Dict[Tuple[int, int], int]:
         """Number of vias per adjacent layer pair, e.g. ``{(1, 2): 812, ...}``."""
-        totals: Dict[Tuple[int, int], int] = {
-            (layer, layer + 1): 0 for layer in range(1, NUM_METAL_LAYERS)
-        }
-        for routed in self.routing.values():
-            for key, count in routed.via_counts().items():
-                totals[key] = totals.get(key, 0) + count
-        return totals
+        return self.arrays().via_counts(NUM_METAL_LAYERS)
 
     def total_vias(self) -> int:
         return sum(self.via_counts().values())
@@ -133,20 +168,24 @@ class Layout:
         Args:
             nets: Restrict to these nets (e.g. the protected nets); default all.
         """
-        distances: List[float] = []
-        for net_name, net in self.netlist.nets.items():
-            if nets is not None and net_name not in nets:
-                continue
-            if net.driver is None:
-                continue
-            driver_pos = self.placement.gate_positions.get(net.driver[0])
-            if driver_pos is None:
-                continue
-            for sink_gate, _pin in net.sinks:
-                sink_pos = self.placement.gate_positions.get(sink_gate)
-                if sink_pos is not None:
-                    distances.append(manhattan(driver_pos, sink_pos))
-        return distances
+        return self.connected_gate_distance_array(nets).tolist()
+
+    def connected_gate_distance_array(self, nets: Optional[Set[str]] = None) -> "np.ndarray":
+        """Vectorized :meth:`connected_gate_distances` (float64 array).
+
+        One elementwise pass over the cached connection-pair arrays; values
+        and ordering are bit-exact with the historical per-pair
+        ``manhattan`` loop over ``netlist.nets``.
+        """
+        from repro.layout.arrays import placement_arrays
+
+        # Only the placement view is needed — don't force a rebuild of the
+        # (larger) segment/via columns after a placement-only edit.
+        placement = placement_arrays(self.netlist, self.placement)
+        distances = placement.pair_distances()
+        if nets is None:
+            return distances
+        return distances[placement.pair_mask_for_nets(nets)]
 
     def stats(self) -> Dict[str, float]:
         """Headline layout statistics."""

@@ -61,15 +61,40 @@ class PlacerConfig:
 
 @dataclass
 class PlacementResult:
-    """Placement of every gate plus the fixed I/O pin positions."""
+    """Placement of every gate plus the fixed I/O pin positions.
+
+    Attributes:
+        geometry_version: Monotonic counter bumped on every in-place geometry
+            mutation (gates moved, positions replaced).  The columnar array
+            views in :mod:`repro.layout.arrays` key their caches on it, so
+            **any code that mutates ``gate_positions`` or ``port_positions``
+            after construction must call :meth:`bump_geometry_version`** —
+            the same contract ``Netlist.topology_version`` enforces for
+            structural netlist edits.
+    """
 
     floorplan: Floorplan
     gate_positions: Dict[str, Point]
     port_positions: Dict[str, Point]
     config: PlacerConfig = field(default_factory=PlacerConfig)
+    geometry_version: int = 0
 
     def position_of(self, gate_name: str) -> Point:
         return self.gate_positions[gate_name]
+
+    def bump_geometry_version(self) -> int:
+        """Record an in-place geometry mutation (invalidates array caches)."""
+        self.geometry_version += 1
+        return self.geometry_version
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_geometry_cache", None)  # cached arrays are rebuilt lazily
+        state.pop("_skeleton_cache", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
 
 # ---------------------------------------------------------------------------
@@ -305,53 +330,76 @@ def place(netlist: Netlist, floorplan: Optional[Floorplan] = None,
 
 
 def placement_hpwl(netlist: Netlist, placement: PlacementResult) -> float:
-    """Total half-perimeter wirelength of ``placement`` in µm."""
-    total = 0.0
-    for net in netlist.nets.values():
-        xs: List[float] = []
-        ys: List[float] = []
-        if net.driver is not None:
-            p = placement.gate_positions.get(net.driver[0])
-            if p is not None:
-                xs.append(p.x)
-                ys.append(p.y)
-        elif net.is_primary_input:
-            p = placement.port_positions.get(net.name)
-            if p is not None:
-                xs.append(p.x)
-                ys.append(p.y)
-        for sink_gate, _pin in net.sinks:
-            p = placement.gate_positions.get(sink_gate)
-            if p is not None:
-                xs.append(p.x)
-                ys.append(p.y)
-        for po in net.primary_outputs:
-            p = placement.port_positions.get(po)
-            if p is not None:
-                xs.append(p.x)
-                ys.append(p.y)
-        if len(xs) >= 2:
-            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
-    return total
+    """Total half-perimeter wirelength of ``placement`` in µm.
+
+    Computed in one vectorized pass over the CSR terminal arrays of the
+    cached columnar placement view (see :mod:`repro.layout.arrays`); per-net
+    HPWL values are bit-exact with the historical per-object loop (max/min
+    over the same terminals), only the order of the final summation differs.
+    """
+    from repro.layout.arrays import placement_arrays
+
+    arrays = placement_arrays(netlist, placement)
+    _net_indices, hpwl = arrays.net_hpwl()
+    return float(np.sum(hpwl)) if hpwl.size else 0.0
 
 
 def check_legality(netlist: Netlist, placement: PlacementResult,
                    tolerance: float = 1e-6) -> List[str]:
-    """Return a list of legality violations (off-die or overlapping cells)."""
+    """Return a list of legality violations (off-die or overlapping cells).
+
+    Operates on the columnar coordinate/width arrays of the placement; the
+    produced problem strings and their order are identical to the historical
+    per-gate loop (off-die problems in placement order, then per-row overlaps
+    with rows in first-encounter order and cells sorted by (x, width, name)).
+    """
+    from repro.layout.arrays import placement_arrays
+
     problems: List[str] = []
     fp = placement.floorplan
-    by_row: Dict[int, List[Tuple[float, float, str]]] = {}
-    for name, pos in placement.gate_positions.items():
-        width = netlist.gates[name].cell.width_um
-        if pos.x < fp.die.x_min - tolerance or pos.x + width > fp.die.x_max + width + tolerance:
-            problems.append(f"{name} outside die in x")
-        if pos.y < fp.die.y_min - tolerance or pos.y > fp.die.y_max + tolerance:
-            problems.append(f"{name} outside die in y")
-        row = fp.nearest_row(pos.y)
-        by_row.setdefault(row, []).append((pos.x, width, name))
-    for row, cells in by_row.items():
-        cells.sort()
-        for (x1, w1, n1), (x2, _w2, n2) in zip(cells, cells[1:]):
-            if x2 < x1 + w1 * 0.5 - tolerance:
-                problems.append(f"severe overlap between {n1} and {n2} in row {row}")
+    arrays = placement_arrays(netlist, placement)
+    names = arrays.gate_names
+    if not names:
+        return problems
+    # The cached width column; the legacy loop raised for placed gates the
+    # netlist doesn't know, so preserve that loudly.
+    if arrays.skeleton.missing_gates:
+        raise KeyError(arrays.skeleton.missing_gates[0])
+    widths = arrays.gate_widths
+    xs = arrays.gate_xy[:, 0]
+    ys = arrays.gate_xy[:, 1]
+    # NOTE: the width term in the x check cancels algebraically (the
+    # condition is xs > x_max + tolerance) — preserved as-is from the legacy
+    # check so legality verdicts stay identical to the seed.
+    bad_x = (xs < fp.die.x_min - tolerance) | (xs + widths > fp.die.x_max + widths + tolerance)
+    bad_y = (ys < fp.die.y_min - tolerance) | (ys > fp.die.y_max + tolerance)
+    for i in np.nonzero(bad_x | bad_y)[0]:
+        if bad_x[i]:
+            problems.append(f"{names[i]} outside die in x")
+        if bad_y[i]:
+            problems.append(f"{names[i]} outside die in y")
+
+    # One global sort by (row, x, width, name) — the legacy per-row tuple
+    # sort, all rows at once — then adjacent-pair comparisons within rows.
+    rows = fp.nearest_rows(ys)
+    names_arr = np.asarray(names, dtype=object)
+    order = np.lexsort((names_arr, widths, xs, rows))
+    sorted_rows = rows[order]
+    x1 = xs[order[:-1]]
+    w1 = widths[order[:-1]]
+    x2 = xs[order[1:]]
+    overlapping = (sorted_rows[:-1] == sorted_rows[1:]) & (
+        x2 < x1 + w1 * 0.5 - tolerance
+    )
+    by_row: Dict[int, List[str]] = {}
+    for k in np.nonzero(overlapping)[0]:
+        row = int(sorted_rows[k])
+        by_row.setdefault(row, []).append(
+            f"severe overlap between {names[order[k]]} and "
+            f"{names[order[k + 1]]} in row {row}"
+        )
+    # Emit rows in first-encounter (placement) order, like the legacy dict.
+    _unique_rows, first_pos = np.unique(rows, return_index=True)
+    for row in rows[np.sort(first_pos)]:
+        problems.extend(by_row.get(int(row), []))
     return problems

@@ -1,4 +1,9 @@
-"""Per-metal-layer wirelength breakdown (paper Fig. 5)."""
+"""Per-metal-layer wirelength breakdown (paper Fig. 5).
+
+All three metrics reduce the layout's columnar segment arrays (layer, length,
+owning net) in single vectorized passes — a ``bincount`` over segment layers
+replaces the historical per-net/per-segment dictionary accumulation.
+"""
 
 from __future__ import annotations
 
@@ -10,13 +15,7 @@ from repro.netlist.cells import NUM_METAL_LAYERS
 
 def wirelength_by_layer(layout: Layout, nets: Optional[Set[str]] = None) -> Dict[int, float]:
     """Routed wirelength per metal layer (µm), optionally restricted to ``nets``."""
-    totals: Dict[int, float] = {layer: 0.0 for layer in range(1, NUM_METAL_LAYERS + 1)}
-    for net_name, routed in layout.routing.items():
-        if nets is not None and net_name not in nets:
-            continue
-        for layer, length in routed.wirelength_by_layer().items():
-            totals[layer] += length
-    return totals
+    return layout.arrays().wirelength_by_layer(NUM_METAL_LAYERS, nets)
 
 
 def wirelength_share_by_layer(layout: Layout,

@@ -27,6 +27,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
+from repro.layout.arrays import UniformGridIndex
 from repro.layout.geometry import Point
 from repro.layout.layout import Layout
 from repro.layout.router import RoutedConnection
@@ -105,6 +108,17 @@ class FEOLView:
     sink_vpins: List[VPin] = field(default_factory=list)
     #: Ground-truth pairing, for scoring only.
     open_connections: List[OpenConnection] = field(default_factory=list)
+    #: Monotonic counter keying the cached columnar view (see
+    #: :func:`feol_arrays`): any in-place edit of the vpin lists after
+    #: extraction — replacing vpins, re-aiming directions — must call
+    #: :meth:`bump_geometry_version`, mirroring the contract on
+    #: ``PlacementResult`` / ``Layout``.
+    geometry_version: int = 0
+
+    def bump_geometry_version(self) -> int:
+        """Record an in-place vpin mutation (invalidates the cached arrays)."""
+        self.geometry_version += 1
+        return self.geometry_version
 
     @property
     def num_vpins(self) -> int:
@@ -142,6 +156,116 @@ class FEOLView:
             "sink_vpins": len(self.sink_vpins),
             "open_connections": len(self.open_connections),
         }
+
+    def arrays(self) -> "FEOLArrays":
+        """The cached columnar view of this FEOL view (see :func:`feol_arrays`)."""
+        return feol_arrays(self)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_geometry_cache", None)  # cached arrays are rebuilt lazily
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+
+@dataclass
+class FEOLArrays:
+    """Array-backed view of a :class:`FEOLView`'s open vpins.
+
+    Driver and sink columns follow ``view.driver_vpins`` /
+    ``view.sink_vpins`` list order, so first-occurrence index semantics are
+    preserved.  ``*_gate_idx`` maps owning gates to small integers shared
+    between the two sides (``-1`` for I/O terminals), which lets the attacks
+    compare gate identity without string broadcasting.
+    """
+
+    driver_ids: np.ndarray       # (d,) int64 vpin identifiers
+    driver_xy: np.ndarray        # (d, 2) float64
+    driver_dir: np.ndarray       # (d, 2) float64, (0, 0) when absent
+    driver_has_dir: np.ndarray   # (d,) bool
+    driver_max_load: np.ndarray  # (d,) float64
+    driver_gate_idx: np.ndarray  # (d,) int64, -1 for port terminals
+    sink_ids: np.ndarray         # (s,) int64
+    sink_xy: np.ndarray          # (s, 2) float64
+    sink_dir: np.ndarray         # (s, 2) float64
+    sink_has_dir: np.ndarray     # (s,) bool
+    sink_cap: np.ndarray         # (s,) float64
+    sink_gate_idx: np.ndarray    # (s,) int64
+    _driver_grid: Optional[UniformGridIndex] = field(default=None, repr=False)
+
+    def driver_grid(self) -> UniformGridIndex:
+        """Lazily built spatial index over the driver-vpin positions."""
+        if self._driver_grid is None:
+            self._driver_grid = UniformGridIndex(self.driver_xy)
+        return self._driver_grid
+
+    @staticmethod
+    def build(view: "FEOLView") -> "FEOLArrays":
+        gate_index: Dict[str, int] = {}
+
+        def gate_of(vpin: VPin) -> int:
+            if vpin.gate is None:
+                return -1
+            return gate_index.setdefault(vpin.gate, len(gate_index))
+
+        def columns(vpins: List[VPin]):
+            ids = np.asarray([v.identifier for v in vpins], dtype=np.int64)
+            if vpins:
+                xy = np.asarray(
+                    [(v.position.x, v.position.y) for v in vpins], dtype=np.float64
+                )
+                direction = np.asarray(
+                    [v.direction if v.direction is not None else (0.0, 0.0)
+                     for v in vpins],
+                    dtype=np.float64,
+                )
+            else:
+                xy = np.empty((0, 2), dtype=np.float64)
+                direction = np.empty((0, 2), dtype=np.float64)
+            has_dir = np.asarray(
+                [v.direction is not None for v in vpins], dtype=bool
+            )
+            gates = np.asarray([gate_of(v) for v in vpins], dtype=np.int64)
+            return ids, xy, direction, has_dir, gates
+
+        d_ids, d_xy, d_dir, d_has, d_gates = columns(view.driver_vpins)
+        s_ids, s_xy, s_dir, s_has, s_gates = columns(view.sink_vpins)
+        return FEOLArrays(
+            driver_ids=d_ids,
+            driver_xy=d_xy,
+            driver_dir=d_dir,
+            driver_has_dir=d_has,
+            driver_max_load=np.asarray(
+                [v.max_load_ff for v in view.driver_vpins], dtype=np.float64
+            ),
+            driver_gate_idx=d_gates,
+            sink_ids=s_ids,
+            sink_xy=s_xy,
+            sink_dir=s_dir,
+            sink_has_dir=s_has,
+            sink_cap=np.asarray(
+                [v.capacitance_ff for v in view.sink_vpins], dtype=np.float64
+            ),
+            sink_gate_idx=s_gates,
+        )
+
+
+def feol_arrays(view: FEOLView) -> FEOLArrays:
+    """Return (and cache) the :class:`FEOLArrays` view of ``view``.
+
+    FEOL views are normally immutable once :func:`extract_feol` returns; the
+    cache keys on ``view.geometry_version`` (bump it after any in-place vpin
+    edit) with the vpin counts as an extra safety net against list growth.
+    """
+    key = (view.geometry_version, len(view.driver_vpins), len(view.sink_vpins))
+    cached = view.__dict__.get("_geometry_cache")
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    arrays = FEOLArrays.build(view)
+    view.__dict__["_geometry_cache"] = (key, arrays)
+    return arrays
 
 
 def _connection_is_cut(connection: RoutedConnection, split_layer: int) -> bool:
