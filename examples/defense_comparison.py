@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
 """Compare the proposed scheme against every prior-art baseline (Tables 4/5).
 
-For a chosen ISCAS-85 benchmark, builds the original layout, each prior-art
-protected layout (placement perturbation, the four randomization strategies,
-pin swapping, routing perturbation, synergistic) and the proposed protected
-layout, attacks all of them with the network-flow attack averaged over splits
-M3–M5, and prints one CCR/OER/HD row per scheme.
+For a chosen ISCAS-85 benchmark, declares one scenario per registered
+defense (placement perturbation, the four randomization strategies, pin
+swapping, routing perturbation, synergistic) plus the proposed scheme,
+attacks all of them with the network-flow attack averaged over splits M3–M5,
+and prints one CCR/OER/HD row per scheme — a scenario grid over the
+:data:`repro.DEFENSES` registry.
 
 Run with::
 
@@ -16,17 +17,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.circuits import get_benchmark
-from repro.core import ProtectionConfig, protect
-from repro.defenses import (
-    LayoutRandomizationStrategy,
-    layout_randomization_defense,
-    pin_swapping_defense,
-    placement_perturbation_defense,
-    routing_perturbation_defense,
-    synergistic_defense,
-)
-from repro.experiments.table4_placement_schemes import attack_layout_average
+import repro
 from repro.utils.tables import Table, format_table
 
 
@@ -36,36 +27,49 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=1)
     args = parser.parse_args()
 
-    netlist = get_benchmark(args.benchmark, seed=args.seed)
-    result = protect(netlist, ProtectionConfig(lift_layer=6, seed=args.seed))
-    splits = (3, 4, 5)
+    common = dict(
+        benchmark=args.benchmark,
+        split_layers=(3, 4, 5),
+        attacks=["network_flow"],
+        metrics=["security"],
+        num_patterns=1024,
+        seed=args.seed,
+    )
+    proposed = repro.ScenarioSpec(
+        scheme="proposed", scheme_params={"lift_layer": 6},
+        layouts=("original", "protected"), **common,
+    )
+    schemes = [
+        ("placement perturbation [5]", repro.ScenarioSpec(
+            scheme="placement_perturbation", **common)),
+    ]
+    for strategy in ("random", "g_color", "g_type1", "g_type2"):
+        schemes.append((f"layout randomization [8] ({strategy})", repro.ScenarioSpec(
+            scheme="layout_randomization", scheme_params={"strategy": strategy},
+            **common)))
+    schemes.append(("pin swapping [3]", repro.ScenarioSpec(
+        scheme="pin_swapping", **common)))
+    schemes.append(("routing perturbation [12]", repro.ScenarioSpec(
+        scheme="routing_perturbation", **common)))
+    schemes.append(("synergistic SM [9]", repro.ScenarioSpec(
+        scheme="synergistic", **common)))
 
-    schemes = [("original (unprotected)", result.original_layout, False)]
-    schemes.append(
-        ("placement perturbation [5]",
-         placement_perturbation_defense(netlist, seed=args.seed), False)
-    )
-    for strategy in LayoutRandomizationStrategy:
-        schemes.append(
-            (f"layout randomization [8] ({strategy.value})",
-             layout_randomization_defense(netlist, strategy, seed=args.seed), False)
-        )
-    schemes.append(("pin swapping [3]", pin_swapping_defense(netlist, seed=args.seed), False))
-    schemes.append(
-        ("routing perturbation [12]",
-         routing_perturbation_defense(netlist, seed=args.seed), False)
-    )
-    schemes.append(("synergistic SM [9]", synergistic_defense(netlist, seed=args.seed), False))
-    schemes.append(("proposed (this paper)", result.protected_layout, True))
+    workspace = repro.default_workspace()
+    proposed_result = workspace.run_scenario(proposed)
 
     table = Table(
         title=f"Network-flow attack on {args.benchmark}, averaged over splits M3-M5",
         columns=["Scheme", "CCR (%)", "OER (%)", "HD (%)"],
     )
-    for label, layout, restrict in schemes:
-        metrics = attack_layout_average(layout, splits, 1024, restrict, args.seed)
+
+    def add(label: str, metrics: dict) -> None:
         table.add_row([label, round(metrics["ccr"], 1), round(metrics["oer"], 1),
                        round(metrics["hd"], 1)])
+
+    add("original (unprotected)", proposed_result.security_mean(layout="original"))
+    for label, spec in schemes:
+        add(label, workspace.run_scenario(spec).security_mean())
+    add("proposed (this paper)", proposed_result.security_mean(layout="protected"))
     print(format_table(table))
 
 

@@ -1,30 +1,28 @@
 #!/usr/bin/env python3
-"""Quickstart: protect one benchmark and attack it.
+"""Quickstart: protect one benchmark and attack it — via the scenario API.
 
-This walks the full pipeline of the paper on a single ISCAS-85 benchmark:
+The whole pipeline of the paper is one declarative scenario:
 
-1. generate the benchmark netlist;
-2. run the protection flow (randomize → place erroneous netlist → restore the
-   true functionality through the BEOL), which also builds the unprotected
-   baseline layout;
-3. split both layouts after M4 and run the network-flow proximity attack;
-4. report CCR / OER / HD for both, plus the PPA overhead of the protection.
+1. build the protected layout with the ``proposed`` scheme (randomize →
+   place erroneous netlist → restore the true functionality in the BEOL);
+2. split the original and protected layouts after M4;
+3. run the network-flow attack on both and score CCR / OER / HD;
+4. report the PPA overhead of the protection.
 
 Run with::
 
     python examples/quickstart.py [benchmark] [--seed N]
+
+The equivalent JSON spec is ``examples/scenario_cell.json`` —
+``python -m repro run examples/scenario_cell.json`` runs the same cell.
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.attacks import network_flow_attack
-from repro.circuits import get_benchmark
-from repro.core import ProtectionConfig, protect
-from repro.metrics import evaluate_attack
+import repro
 from repro.netlist import check_equivalence
-from repro.sm import extract_feol
 
 
 def main() -> None:
@@ -35,35 +33,41 @@ def main() -> None:
     parser.add_argument("--split-layer", type=int, default=4)
     args = parser.parse_args()
 
-    print(f"== Protecting {args.benchmark} ==")
-    netlist = get_benchmark(args.benchmark, seed=args.seed)
-    print(f"netlist: {netlist.stats()}")
+    spec = repro.ScenarioSpec(
+        benchmark=args.benchmark,
+        scheme="proposed",
+        scheme_params={"lift_layer": 6},
+        layouts=("original", "protected"),
+        split_layers=(args.split_layer,),
+        attacks=["network_flow"],
+        metrics=["security", "ppa_overheads"],
+        num_patterns=2048,
+        seed=args.seed,
+    )
+    workspace = repro.default_workspace()
 
-    result = protect(netlist, ProtectionConfig(lift_layer=6, seed=args.seed))
-    print(f"protection summary: {result.summary()}")
+    print(f"== Protecting {args.benchmark} (scenario {spec.short_hash}) ==")
+    result = workspace.run_scenario(spec)
 
-    equivalence = check_equivalence(netlist, result.protected_layout.netlist)
+    protection = workspace.build(spec).protection
+    print(f"netlist: {protection.original_layout.netlist.stats()}")
+    print(f"protection summary: {protection.summary()}")
+    equivalence = check_equivalence(
+        protection.original_layout.netlist, protection.protected_layout.netlist
+    )
     print(f"restored functionality equivalent to original: {bool(equivalence)}")
 
-    for label, layout, restrict in (
-        ("original", result.original_layout, False),
-        ("protected", result.protected_layout, True),
-    ):
-        view = extract_feol(layout, args.split_layer)
-        attack = network_flow_attack(view)
-        report = evaluate_attack(
-            view, attack.assignment, attack.recovered_netlist,
-            restrict_to_protected=restrict,
-        )
+    for variant in ("original", "protected"):
+        (record,) = result.records(attack="network_flow", layout=variant)
+        security = record.metrics["security"]
         print(
-            f"[{label:9s}] split after M{args.split_layer}: "
-            f"vpins={view.num_vpins:5d}  "
-            f"CCR={report.ccr_percent:5.1f}%  "
-            f"OER={report.oer_percent:5.1f}%  "
-            f"HD={report.hd_percent:5.1f}%"
+            f"[{variant:9s}] split after M{record.split_layer}: "
+            f"CCR={security['ccr']:5.1f}%  "
+            f"OER={security['oer']:5.1f}%  "
+            f"HD={security['hd']:5.1f}%"
         )
 
-    overheads = result.overheads
+    overheads = result.metric("ppa_overheads", "protected")
     print(
         "PPA overhead of protection: "
         f"area {overheads['area_percent']:.1f}%, "

@@ -7,9 +7,10 @@ manufacturing commercially viable (only a cheap, coarse BEOL fab is needed at
 the trusted facility).  Placement-centric defenses lose their protection as
 the split moves up, because routing below the split resolves the perturbation.
 
-This example sweeps the split layer from M3 to M7 for one benchmark and
-reports the attack's CCR on the original layout, a placement-perturbed layout
-and the proposed protected layout.
+This example sweeps the split layer from M3 up for one benchmark — a single
+scenario per scheme with multiple ``split_layers`` — and reports the attack's
+CCR on the original layout, a placement-perturbed layout and the proposed
+protected layout.
 
 Run with::
 
@@ -20,12 +21,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.attacks import network_flow_attack
-from repro.circuits import get_benchmark
-from repro.core import ProtectionConfig, protect
-from repro.defenses import placement_perturbation_defense
-from repro.metrics import correct_connection_rate
-from repro.sm import extract_feol
+import repro
 from repro.utils.tables import Table, format_table
 
 
@@ -37,25 +33,42 @@ def main() -> None:
                         help="correction-cell layer (must stay above the split)")
     args = parser.parse_args()
 
-    netlist = get_benchmark(args.benchmark, seed=args.seed)
-    result = protect(netlist, ProtectionConfig(lift_layer=args.lift_layer, seed=args.seed))
-    perturbed = placement_perturbation_defense(netlist, seed=args.seed)
+    splits = tuple(range(3, args.lift_layer))
+    common = dict(
+        benchmark=args.benchmark,
+        split_layers=splits,
+        attacks=["network_flow"],
+        metrics=["security"],
+        num_patterns=1024,
+        seed=args.seed,
+    )
+    proposed = repro.ScenarioSpec(
+        scheme="proposed", scheme_params={"lift_layer": args.lift_layer},
+        layouts=("original", "protected"), **common,
+    )
+    perturbed = repro.ScenarioSpec(scheme="placement_perturbation", **common)
 
+    workspace = repro.default_workspace()
+    proposed_result = workspace.run_scenario(proposed)
+    perturbed_result = workspace.run_scenario(perturbed)
+
+    def ccr_by_split(result: repro.ScenarioResult, layout: str) -> dict:
+        return {
+            record.split_layer: record.metrics["security"]["ccr"]
+            for record in result.records(attack="network_flow", layout=layout)
+        }
+
+    columns = [
+        ccr_by_split(proposed_result, "original"),
+        ccr_by_split(perturbed_result, "protected"),
+        ccr_by_split(proposed_result, "protected"),
+    ]
     table = Table(
         title=f"CCR (%) vs split layer for {args.benchmark}",
         columns=["Split layer", "Original", "Placement perturbation", "Proposed"],
     )
-    for split in range(3, args.lift_layer):
-        row = [f"M{split}"]
-        for layout, restrict in (
-            (result.original_layout, False),
-            (perturbed, False),
-            (result.protected_layout, True),
-        ):
-            view = extract_feol(layout, split)
-            attack = network_flow_attack(view)
-            row.append(round(correct_connection_rate(view, attack.assignment, restrict), 1))
-        table.add_row(row)
+    for split in splits:
+        table.add_row([f"M{split}", *[round(column[split], 1) for column in columns]])
     print(format_table(table))
     print(
         "\nThe proposed scheme keeps CCR near zero at every split layer below "

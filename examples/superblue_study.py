@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Superblue routing-centric study (Tables 1–3 / Figs. 4–5 in miniature).
 
-Runs the protection flow on one (scaled) superblue benchmark and reports the
-routing-centric security picture the paper paints for industrial designs:
+One declarative scenario covers the whole routing-centric security picture
+the paper paints for industrial designs:
 
 * distances between truly connected gates (original vs lifted vs proposed);
 * per-layer wirelength shares of the randomized nets;
@@ -18,13 +18,11 @@ from __future__ import annotations
 
 import argparse
 
-from repro.attacks import crouting_attack
-from repro.circuits import superblue_netlist
-from repro.core import ProtectionConfig, protect
-from repro.metrics import distance_stats, via_delta_percent, wirelength_share_by_layer
-from repro.metrics.vias import VIA_NAMES, via_counts_by_name
-from repro.sm import extract_feol
+import repro
+from repro.metrics.vias import VIA_NAMES
 from repro.utils.tables import Table, format_table
+
+VARIANTS = (("original", "Original"), ("lifted", "Lifted"), ("protected", "Proposed"))
 
 
 def main() -> None:
@@ -36,58 +34,72 @@ def main() -> None:
     parser.add_argument("--split-layer", type=int, default=6)
     args = parser.parse_args()
 
-    netlist = superblue_netlist(args.benchmark, scale=args.scale, seed=args.seed)
-    print(f"{args.benchmark} (scale {args.scale}): {netlist.stats()}")
-    config = ProtectionConfig(
-        lift_layer=8, ppa_budget_percent=5.0, swap_fraction_steps=(0.02,),
-        oer_patterns=256, seed=args.seed,
+    spec = repro.ScenarioSpec(
+        benchmark=args.benchmark,
+        scheme="proposed",
+        scheme_params={
+            "lift_layer": 8, "ppa_budget_percent": 5.0,
+            "swap_fraction_steps": [0.02], "oer_patterns": 256,
+        },
+        scale=args.scale,
+        layouts=("original", "lifted", "protected"),
+        split_layers=(args.split_layer,),
+        attacks=["crouting"],
+        metrics=[
+            "distances",
+            "via_counts",
+            "via_delta",
+            "crouting_stats",
+            {"name": "wirelength_layers", "params": {"split_layer": args.split_layer}},
+        ],
+        seed=args.seed,
     )
-    result = protect(netlist, config)
-    nets = set(result.protected_layout.protected_nets)
-    print(f"randomized nets: {len(nets)}, swaps: {result.randomization.num_swaps}, "
-          f"OER: {result.randomization.oer_percent:.1f}%")
+    workspace = repro.default_workspace()
+    result = workspace.run_scenario(spec)
 
-    layouts = [
-        ("Original", result.original_layout),
-        ("Lifted", result.naive_lifted_layout),
-        ("Proposed", result.protected_layout),
-    ]
+    protection = workspace.build(spec).protection
+    netlist = protection.original_layout.netlist
+    print(f"{args.benchmark} (scale {args.scale}): {netlist.stats()}")
+    print(f"randomized nets: {len(protection.protected_layout.protected_nets)}, "
+          f"swaps: {protection.randomization.num_swaps}, "
+          f"OER: {protection.randomization.oer_percent:.1f}%")
 
     table = Table(title="Distances between connected gates (randomized nets, microns)",
                   columns=["Layout", "Mean", "Median", "Std. Dev."])
-    for label, layout in layouts:
-        stats = distance_stats(layout, nets)
-        table.add_row([label, *stats.as_row()])
+    for variant, label in VARIANTS:
+        stats = result.metric("distances", variant)
+        table.add_row([label, round(stats["mean"], 2), round(stats["median"], 2),
+                       round(stats["std_dev"], 2)])
     print(format_table(table))
     print()
 
     table = Table(title="Wirelength share per layer for randomized nets (%)",
                   columns=["Layout", *[f"M{i}" for i in range(1, 11)]])
-    for label, layout in layouts:
-        shares = wirelength_share_by_layer(layout, nets)
-        table.add_row([label, *[round(shares[i], 1) for i in range(1, 11)]])
+    for variant, label in VARIANTS:
+        shares = result.metric("wirelength_layers", variant)["shares"]
+        table.add_row([label, *[round(shares.get(i, 0.0), 1) for i in range(1, 11)]])
     print(format_table(table))
     print()
 
     table = Table(title="Additional vias over the original layout (%)",
                   columns=["Layout", *VIA_NAMES])
-    print("original via counts:", via_counts_by_name(result.original_layout))
-    for label, layout in layouts[1:]:
-        deltas = via_delta_percent(layout, result.original_layout)
+    print("original via counts:", result.metric("via_counts", "original")["counts"])
+    for variant, label in VARIANTS[1:]:
+        deltas = result.metric("via_delta", variant)
         table.add_row([label, *[round(deltas[name], 1) for name in VIA_NAMES]])
     print(format_table(table))
     print()
 
     table = Table(title=f"crouting attack at split M{args.split_layer}",
                   columns=["Layout", "#VPins", "E[LS] bb15", "E[LS] bb30", "E[LS] bb45"])
-    for label, layout in layouts:
-        view = extract_feol(layout, args.split_layer)
-        outcome = crouting_attack(view)
+    for variant, label in VARIANTS:
+        (record,) = result.records(attack="crouting", layout=variant)
+        stats = record.metrics["crouting_stats"]
         table.add_row([
-            label, outcome.num_vpins,
-            round(outcome.expected_list_size[15], 2),
-            round(outcome.expected_list_size[30], 2),
-            round(outcome.expected_list_size[45], 2),
+            label, stats["num_vpins"],
+            round(stats["expected_list_size"][15], 2),
+            round(stats["expected_list_size"][30], 2),
+            round(stats["expected_list_size"][45], 2),
         ])
     print(format_table(table))
 

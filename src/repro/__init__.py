@@ -1,0 +1,72 @@
+"""Reproduction of Patnaik et al., DAC'18 — "Concerted Wire Lifting".
+
+The public API is the **scenario API**: declare a cell of the paper's
+evaluation grid as a :class:`ScenarioSpec` (benchmark × protection scheme ×
+attacks × metrics, all referenced by registry name) and run it through a
+:class:`Workspace`::
+
+    import repro
+
+    spec = repro.ScenarioSpec(
+        benchmark="c880",
+        scheme="proposed",
+        layouts=("original", "protected"),
+        split_layers=(3, 4, 5),
+        attacks=["network_flow"],
+        metrics=["security"],
+        seed=1,
+    )
+    result = repro.default_workspace().run_scenario(spec)
+    print(result.security_mean(layout="protected"))
+
+Specs round-trip through JSON with a stable content hash (the workspace
+cache key), and ``python -m repro run <spec.json|table1|...>`` drives the
+same machinery from the command line.  The registries (:data:`ATTACKS`,
+:data:`DEFENSES`, :data:`METRICS`) accept third-party registrations via
+decorators — see :mod:`repro.api.registry`.
+
+Lower-level building blocks (netlists, layouts, the protection flow) stay
+importable from their subpackages: :mod:`repro.netlist`, :mod:`repro.layout`,
+:mod:`repro.core`, :mod:`repro.attacks`, :mod:`repro.defenses`,
+:mod:`repro.metrics`, :mod:`repro.sm`.
+"""
+
+from repro.api import (
+    ATTACKS,
+    DEFENSES,
+    METRICS,
+    AttackSpec,
+    MetricSpec,
+    ScenarioResult,
+    ScenarioSpec,
+    UnknownNameError,
+    Workspace,
+    default_workspace,
+    reset_default_workspace,
+)
+from repro.circuits.registry import available_benchmarks, get_benchmark
+from repro.core.flow import ProtectionConfig, ProtectionResult, protect
+from repro.experiments.common import ExperimentConfig
+
+__version__ = "0.3.0"
+
+__all__ = [
+    "ATTACKS",
+    "DEFENSES",
+    "METRICS",
+    "AttackSpec",
+    "ExperimentConfig",
+    "MetricSpec",
+    "ProtectionConfig",
+    "ProtectionResult",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "UnknownNameError",
+    "Workspace",
+    "__version__",
+    "available_benchmarks",
+    "default_workspace",
+    "get_benchmark",
+    "protect",
+    "reset_default_workspace",
+]

@@ -1,0 +1,84 @@
+"""Public scenario API: registries, declarative specs and the Workspace.
+
+Quickstart::
+
+    from repro.api import ScenarioSpec, default_workspace
+
+    spec = ScenarioSpec(
+        benchmark="c880",
+        scheme="proposed",
+        scheme_params={"lift_layer": 6},
+        layouts=("original", "protected"),
+        split_layers=(3, 4, 5),
+        attacks=["network_flow"],
+        metrics=["security"],
+        seed=1,
+    )
+    result = default_workspace().run_scenario(spec)
+    print(result.security_mean(layout="protected"))  # {'ccr': …, 'oer': …, 'hd': …}
+
+Specs serialise to JSON (``spec.to_json()`` / ``ScenarioSpec.from_json``)
+and carry a stable content hash used as the workspace cache key, so runs
+are reproducible and shareable — ``python -m repro run scenario.json``
+executes the same cell from the command line.
+"""
+
+from repro.api.registry import (
+    ATTACKS,
+    DEFENSES,
+    METRICS,
+    Registry,
+    RegistryEntry,
+    UnknownNameError,
+    build_params,
+    ensure_builtins,
+    params_to_dict,
+)
+from repro.api.spec import (
+    AttackSpec,
+    MetricSpec,
+    ScenarioSpec,
+    UnknownBenchmarkError,
+    load_specs,
+)
+
+# Built-in registrations must be importable before anything resolves names.
+ensure_builtins()
+
+from repro.api.attacks import AttackOutcome, ProximityAttackParams  # noqa: E402
+from repro.api.metrics import MetricContext  # noqa: E402
+from repro.api.schemes import ProposedParams, SchemeBuild  # noqa: E402
+from repro.api.workspace import (  # noqa: E402
+    AttackRecord,
+    ScenarioResult,
+    Workspace,
+    default_workspace,
+    reset_default_workspace,
+)
+
+__all__ = [
+    "ATTACKS",
+    "DEFENSES",
+    "METRICS",
+    "AttackOutcome",
+    "AttackRecord",
+    "AttackSpec",
+    "MetricContext",
+    "MetricSpec",
+    "ProposedParams",
+    "ProximityAttackParams",
+    "Registry",
+    "RegistryEntry",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SchemeBuild",
+    "UnknownBenchmarkError",
+    "UnknownNameError",
+    "Workspace",
+    "build_params",
+    "default_workspace",
+    "ensure_builtins",
+    "load_specs",
+    "params_to_dict",
+    "reset_default_workspace",
+]

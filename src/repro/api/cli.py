@@ -1,0 +1,238 @@
+"""``python -m repro`` / ``repro`` — the scenario-API command line.
+
+Subcommands::
+
+    repro run <target> [...]    # run experiments or JSON scenario specs
+    repro list [section]        # registered attacks/defenses/metrics/...
+    repro hash <spec.json>      # canonical content hash of a spec file
+
+``run`` targets:
+
+* an experiment name (``table1`` … ``figure6``, ``headline``) or ``all`` —
+  regenerates the corresponding paper tables, exactly like the legacy
+  ``python -m repro.experiments.runner`` entry point;
+* a ``.json`` file containing either one :class:`~repro.api.spec.
+  ScenarioSpec` (an object with a ``benchmark`` key), a batch
+  (``{"scenarios": [...]}``), or an experiment-grid request
+  (``{"experiment": "table1", "config": {...ExperimentConfig fields...}}``).
+
+Scenario results print as JSON (``--output`` writes to a file); experiment
+tables print in the usual plain-text form.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.api.registry import ATTACKS, DEFENSES, METRICS, ensure_builtins
+from repro.api.spec import ScenarioSpec, load_specs
+from repro.api.workspace import default_workspace
+
+
+def _experiment_registry():
+    from repro.experiments.runner import EXPERIMENTS
+
+    return EXPERIMENTS
+
+
+def _run_experiments(names: List[str], config, jobs: int) -> str:
+    from repro.experiments.runner import run_all
+    from repro.utils.tables import format_table
+
+    results = run_all(config, only=names, jobs=jobs)
+    blocks = [format_table(table) for table in results.values()]
+    return "\n\n".join(blocks)
+
+
+def _build_experiment_config(args: argparse.Namespace,
+                             overrides: Optional[Mapping[str, Any]] = None):
+    import dataclasses
+
+    from repro.experiments.common import ExperimentConfig
+    from repro.experiments.runner import quick_config
+
+    if overrides is not None:
+        if args.quick:
+            print(
+                "warning: --quick ignored, the spec file provides an explicit config",
+                file=sys.stderr,
+            )
+        config = ExperimentConfig.from_dict(overrides)
+    elif args.quick:
+        config = quick_config()
+    else:
+        config = ExperimentConfig()
+    if args.superblue_scale is not None:
+        config = dataclasses.replace(config, superblue_scale=args.superblue_scale)
+    return config
+
+
+def _resolved_jobs(args: argparse.Namespace) -> int:
+    """Parallel prewarm width: explicit --jobs, else the legacy runner's
+    parallel-by-default worker count."""
+    from repro.api.workspace import default_jobs
+
+    return args.jobs if args.jobs is not None else default_jobs()
+
+
+def _run_payload(payload: Any, args: argparse.Namespace) -> str:
+    """Dispatch a parsed JSON payload to scenarios or experiment grids."""
+    if isinstance(payload, Mapping) and ("experiment" in payload or "experiments" in payload):
+        names = payload.get("experiments", payload.get("experiment"))
+        if isinstance(names, str):
+            names = [names]
+        config = _build_experiment_config(args, payload.get("config"))
+        return _run_experiments(list(names), config, jobs=_resolved_jobs(args))
+    for flag in ("quick", "superblue_scale"):
+        if getattr(args, flag, None):
+            print(
+                f"warning: --{flag.replace('_', '-')} ignored for scenario-spec "
+                "payloads (edit the spec instead)",
+                file=sys.stderr,
+            )
+    specs = load_specs(payload)
+    for spec in specs:
+        spec.validate()
+    results = default_workspace().run_scenarios(specs, jobs=_resolved_jobs(args))
+    documents = [result.to_dict() for result in results]
+    rendered = documents[0] if len(documents) == 1 else documents
+    return json.dumps(rendered, indent=2, sort_keys=True)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    target = args.target
+    if target.endswith(".json") or "/" in target or "\\" in target:
+        path = Path(target)
+        if not path.exists():
+            print(f"error: spec file {target!r} does not exist", file=sys.stderr)
+            return 2
+        output = _run_payload(json.loads(path.read_text()), args)
+    else:
+        experiments = _experiment_registry()
+        names = list(experiments) if target == "all" else [target]
+        unknown = [name for name in names if name not in experiments]
+        if unknown:
+            print(
+                f"error: unknown experiment {unknown[0]!r}; choose from "
+                f"{', '.join(experiments)} or 'all', or pass a .json spec file",
+                file=sys.stderr,
+            )
+            return 2
+        config = _build_experiment_config(args)
+        output = _run_experiments(names, config, jobs=_resolved_jobs(args))
+    if args.output:
+        Path(args.output).write_text(output + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(output)
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    ensure_builtins()
+    from repro.circuits.registry import available_benchmarks
+
+    sections = {
+        "attacks": lambda: [
+            f"{e.name:24s} {e.summary}" for e in ATTACKS.entries()
+        ],
+        "defenses": lambda: [
+            f"{e.name:24s} {e.summary}" for e in DEFENSES.entries()
+        ],
+        "metrics": lambda: [
+            f"{e.name:24s} [{e.extra.get('scope', '?')}] {e.summary}"
+            for e in METRICS.entries()
+        ],
+        "experiments": lambda: list(_experiment_registry()),
+        "benchmarks": available_benchmarks,
+    }
+    selected = [args.section] if args.section else list(sections)
+    unknown = [name for name in selected if name not in sections]
+    if unknown:
+        print(
+            f"error: unknown section {unknown[0]!r}; choose from {', '.join(sections)}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in selected:
+        print(f"{name}:")
+        for line in sections[name]():
+            print(f"  {line}")
+    return 0
+
+
+def cmd_hash(args: argparse.Namespace) -> int:
+    path = Path(args.spec)
+    if not path.exists():
+        print(f"error: spec file {args.spec!r} does not exist", file=sys.stderr)
+        return 2
+    payload = json.loads(path.read_text())
+    if isinstance(payload, Mapping) and ("experiment" in payload or "experiments" in payload):
+        print(
+            "error: experiment-grid payloads have no scenario hash; "
+            "point 'hash' at a ScenarioSpec file (an object with a 'benchmark' key)",
+            file=sys.stderr,
+        )
+        return 2
+    for spec in load_specs(payload):
+        print(f"{spec.content_hash()}  {spec.benchmark} [{spec.scheme}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scenario API for the split-manufacturing reproduction "
+                    "(Patnaik et al., DAC'18).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run_parser = sub.add_parser(
+        "run", help="run an experiment (table1 … headline, all) or a JSON scenario spec"
+    )
+    run_parser.add_argument("target", help="experiment name, 'all', or a .json spec file")
+    run_parser.add_argument("--quick", action="store_true",
+                            help="reduced benchmark sets (experiment targets)")
+    run_parser.add_argument("--superblue-scale", type=float, default=None,
+                            help="override the superblue down-scaling factor")
+    run_parser.add_argument("--jobs", "-j", type=int, default=None,
+                            help="worker processes for the artefact prewarm")
+    run_parser.add_argument("--output", "-o", default=None,
+                            help="write the report to a file instead of stdout")
+    run_parser.set_defaults(fn=cmd_run)
+
+    list_parser = sub.add_parser("list", help="show registered names")
+    list_parser.add_argument(
+        "section", nargs="?", default=None,
+        help="attacks | defenses | metrics | experiments | benchmarks",
+    )
+    list_parser.set_defaults(fn=cmd_list)
+
+    hash_parser = sub.add_parser("hash", help="canonical content hash of a spec file")
+    hash_parser.add_argument("spec", help="path to a scenario .json file")
+    hash_parser.set_defaults(fn=cmd_hash)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "fn", None):
+        parser.print_help()
+        return 2
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    sys.exit(main())

@@ -1,0 +1,286 @@
+"""Declarative scenario specifications with canonical hashing.
+
+A :class:`ScenarioSpec` names one cell of the paper's evaluation grid —
+benchmark × protection scheme × attacks × metrics — entirely with plain data
+(strings, numbers, mappings).  Specs round-trip through ``to_dict`` /
+``from_dict`` / JSON, and expose a **stable content hash** computed over the
+*canonical* form: every attack/scheme/metric parameter payload is resolved
+against its registered parameter dataclass (defaults filled in, lists
+normalised) and serialised with sorted keys.  Two specs that mean the same
+scenario therefore hash identically regardless of key order or whether
+default parameters were spelled out — and two specs that differ in *any*
+build-relevant knob hash differently, which is what makes the hash safe to
+use as the :class:`~repro.api.workspace.Workspace` cache key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.registry import ATTACKS, DEFENSES, METRICS, ensure_builtins
+
+#: Layout variants a scenario can target.  ``protected`` is the scheme's own
+#: layout; ``original`` and ``lifted`` are only available for schemes that
+#: carry a full protection run (``proposed``).
+LAYOUT_VARIANTS = ("original", "lifted", "protected")
+_LAYOUT_ALIASES = {"proposed": "protected"}
+
+
+def _freeze_params(params: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+    if params is None:
+        return {}
+    if not isinstance(params, Mapping):
+        raise TypeError(f"params must be a mapping, got {type(params).__name__}")
+    return dict(params)
+
+
+@dataclass(frozen=True, eq=True)
+class _NamedSpec:
+    """A registry name plus parameter overrides (shared attack/metric shape)."""
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze_params(self.params))
+
+    @classmethod
+    def coerce(cls, value: Union[str, Mapping[str, Any], "_NamedSpec"]) -> "_NamedSpec":
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(name=value)
+        if isinstance(value, Mapping):
+            unknown = sorted(set(value) - {"name", "params"})
+            if unknown:
+                raise TypeError(
+                    f"unknown {cls.__name__} key(s): {', '.join(unknown)}; "
+                    "accepted: name, params"
+                )
+            if "name" not in value:
+                raise TypeError(f"{cls.__name__} entries require a 'name' key")
+            return cls(name=value["name"], params=value.get("params", {}))
+        raise TypeError(f"cannot build {cls.__name__} from {value!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would choke on the dict-valued
+        # params field; hash the stable serialised form instead (equal specs
+        # serialise equal).
+        return hash(json.dumps(self.to_dict(), sort_keys=True))
+
+
+# Plain subclasses (not re-decorated): re-applying @dataclass would replace
+# the explicit __hash__ above with a generated one that chokes on the
+# dict-valued params field.
+class AttackSpec(_NamedSpec):
+    """One attack to run: a registry name plus parameter overrides."""
+
+
+class MetricSpec(_NamedSpec):
+    """One metric to evaluate: a registry name plus parameter overrides."""
+
+
+@dataclass(frozen=True, eq=True)
+class ScenarioSpec:
+    """One declarative scenario: what to build, attack and measure.
+
+    Attributes:
+        benchmark: Benchmark name from :func:`repro.circuits.registry.
+            get_benchmark` (``"c432"`` … ``"superblue18"``).
+        scheme: Protection scheme name from the :data:`~repro.api.registry.
+            DEFENSES` registry (default the paper's ``"proposed"`` flow).
+        scheme_params: Overrides for the scheme's parameter dataclass.
+        scale: Down-scaling factor for superblue designs (``None`` keeps the
+            benchmark default; ignored for ISCAS).
+        layouts: Which layout variants to measure/attack.
+        split_layers: FEOL/BEOL split layers the attacks run at.
+        attacks: Attacks to run on every (layout, split layer) pair.
+        metrics: Metrics to evaluate; their registered scope decides whether
+            they run per layout, per layout-vs-baseline or per attack run.
+        num_patterns: Simulation patterns for OER/HD style metrics.
+        seed: Master seed (benchmark generation, placement, randomization).
+    """
+
+    benchmark: str
+    scheme: str = "proposed"
+    scheme_params: Mapping[str, Any] = field(default_factory=dict)
+    scale: Optional[float] = None
+    layouts: Tuple[str, ...] = ("protected",)
+    split_layers: Tuple[int, ...] = (4,)
+    attacks: Tuple[AttackSpec, ...] = ()
+    metrics: Tuple[MetricSpec, ...] = ()
+    num_patterns: int = 1024
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scheme_params", _freeze_params(self.scheme_params))
+        layouts = tuple(
+            _LAYOUT_ALIASES.get(str(layout), str(layout)) for layout in self.layouts
+        )
+        for layout in layouts:
+            if layout not in LAYOUT_VARIANTS:
+                raise ValueError(
+                    f"unknown layout variant {layout!r}; "
+                    f"choose from {', '.join(LAYOUT_VARIANTS)} (alias: proposed)"
+                )
+        object.__setattr__(self, "layouts", layouts)
+        object.__setattr__(
+            self, "split_layers", tuple(int(layer) for layer in self.split_layers)
+        )
+        attacks = tuple(AttackSpec.coerce(a) for a in self.attacks)
+        metrics = tuple(MetricSpec.coerce(m) for m in self.metrics)
+        # Scenario results key attack records and metric values by name, so
+        # duplicate names would silently shadow each other — reject them.
+        for kind, entries in (("attack", attacks), ("metric", metrics)):
+            names = [entry.name for entry in entries]
+            duplicates = sorted({name for name in names if names.count(name) > 1})
+            if duplicates:
+                raise ValueError(
+                    f"duplicate {kind} name(s) in scenario: {', '.join(duplicates)}; "
+                    "results are keyed by name — declare separate scenarios instead"
+                )
+        object.__setattr__(self, "attacks", attacks)
+        object.__setattr__(self, "metrics", metrics)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON compatible, preserves given params verbatim)."""
+        return {
+            "benchmark": self.benchmark,
+            "scheme": self.scheme,
+            "scheme_params": dict(self.scheme_params),
+            "scale": self.scale,
+            "layouts": list(self.layouts),
+            "split_layers": list(self.split_layers),
+            "attacks": [a.to_dict() for a in self.attacks],
+            "metrics": [m.to_dict() for m in self.metrics],
+            "num_patterns": self.num_patterns,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise TypeError(
+                f"unknown ScenarioSpec field(s): {', '.join(unknown)}; "
+                f"accepted: {', '.join(sorted(known))}"
+            )
+        if "benchmark" not in data:
+            raise TypeError("ScenarioSpec requires a 'benchmark' field")
+        return cls(**dict(data))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- canonicalization / hashing ---------------------------------------
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The spec with every params payload resolved against its registry.
+
+        Defaults are filled in and values normalised (tuples → lists, enums →
+        values), so two spellings of the same scenario canonicalise equal.
+        Unknown names or parameters raise here.
+        """
+        ensure_builtins()
+        scheme_entry = DEFENSES.get(self.scheme)
+        return {
+            "benchmark": self.benchmark,
+            "scheme": self.scheme,
+            "scheme_params": scheme_entry.canonical_params(self.scheme_params),
+            "scale": self.scale,
+            "layouts": list(self.layouts),
+            "split_layers": list(self.split_layers),
+            "attacks": [
+                {"name": a.name, "params": ATTACKS.get(a.name).canonical_params(a.params)}
+                for a in self.attacks
+            ],
+            "metrics": [
+                {"name": m.name, "params": METRICS.get(m.name).canonical_params(m.params)}
+                for m in self.metrics
+            ],
+            "num_patterns": self.num_patterns,
+            "seed": self.seed,
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical_dict(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """Stable hash of the canonical spec (cache key, provenance tag)."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    @property
+    def short_hash(self) -> str:
+        return self.content_hash()[:12]
+
+    def build_dict(self) -> Dict[str, Any]:
+        """The build-relevant subset: everything that shapes the artefacts.
+
+        This is the :class:`~repro.api.workspace.Workspace` cache key payload.
+        It covers benchmark, scale, seed, scheme *and every scheme parameter*
+        — by construction a config change that affects the build changes the
+        key (the historical module-global cache keyed only on
+        ``(benchmark, scale, seed)`` and silently served stale artefacts).
+        """
+        canonical = self.canonical_dict()
+        return {
+            "benchmark": canonical["benchmark"],
+            "scale": canonical["scale"],
+            "seed": canonical["seed"],
+            "scheme": canonical["scheme"],
+            "scheme_params": canonical["scheme_params"],
+        }
+
+    def build_key(self) -> str:
+        payload = json.dumps(self.build_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def __hash__(self) -> int:
+        # Explicit: the generated frozen-dataclass hash would choke on the
+        # dict-valued scheme_params field (equal specs serialise equal).
+        return hash(json.dumps(self.to_dict(), sort_keys=True))
+
+    def validate(self) -> "ScenarioSpec":
+        """Resolve every registry name and parameter payload; raise on errors."""
+        from repro.circuits.registry import available_benchmarks
+
+        if self.benchmark not in available_benchmarks():
+            raise UnknownBenchmarkError(self.benchmark)
+        self.canonical_dict()
+        return self
+
+
+class UnknownBenchmarkError(KeyError):
+    def __init__(self, name: str):
+        from repro.circuits.registry import available_benchmarks
+
+        super().__init__(
+            f"unknown benchmark {name!r}; available: {', '.join(available_benchmarks())}"
+        )
+        self.name = name
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+def load_specs(data: Union[Mapping[str, Any], Sequence[Mapping[str, Any]]]) -> List[ScenarioSpec]:
+    """Build a list of specs from a payload that is one spec or many."""
+    if isinstance(data, Mapping):
+        if "scenarios" in data:
+            return [ScenarioSpec.from_dict(entry) for entry in data["scenarios"]]
+        return [ScenarioSpec.from_dict(data)]
+    return [ScenarioSpec.from_dict(entry) for entry in data]

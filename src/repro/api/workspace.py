@@ -1,0 +1,474 @@
+"""The :class:`Workspace`: session object owning artefacts and execution.
+
+A workspace replaces the historical module-global artefact cache of
+``repro.experiments.common``.  Builds are keyed by the **full canonical build
+hash** of their scenario spec (benchmark, scale, seed, scheme and every
+scheme parameter — see :meth:`~repro.api.spec.ScenarioSpec.build_key`), so
+two configurations that differ in any build-relevant knob can never share an
+artefact; the historical cache keyed only ``(benchmark, scale, seed)`` and
+silently served stale results across e.g. differing lift layers.
+
+The workspace also owns execution:
+
+* :meth:`Workspace.prewarm` builds missing artefacts in parallel worker
+  processes (``jobs``), publishing results under a lock — the same
+  degradation story as before (sandboxes without multiprocessing fall back
+  to serial, sibling results of a failing build are still published);
+* :meth:`Workspace.run_scenario` executes one declarative
+  :class:`~repro.api.spec.ScenarioSpec` and returns a structured
+  :class:`ScenarioResult` (memoized by spec content hash);
+* :meth:`Workspace.run_scenarios` is the batch API: prewarm the distinct
+  builds, then evaluate every scenario against the warm cache.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.registry import ATTACKS, DEFENSES, METRICS, ensure_builtins
+from repro.api.spec import ScenarioSpec
+from repro.circuits.registry import get_benchmark
+from repro.core.flow import ProtectionConfig, ProtectionResult
+from repro.netlist.netlist import Netlist
+from repro.sm.split import extract_feol
+
+
+@dataclass
+class AttackRecord:
+    """One attack run inside a scenario: where it ran and what it scored."""
+
+    attack: str
+    layout: str
+    split_layer: int
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attack": self.attack,
+            "layout": self.layout,
+            "split_layer": self.split_layer,
+            "metrics": self.metrics,
+        }
+
+
+@dataclass
+class ScenarioResult:
+    """Structured outcome of one scenario run."""
+
+    spec: ScenarioSpec
+    spec_hash: str
+    benchmark: str
+    scheme: str
+    #: metric name → layout variant → value (layout- and compare-scope).
+    layout_metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    attack_records: List[AttackRecord] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec_hash,
+            "benchmark": self.benchmark,
+            "scheme": self.scheme,
+            "layout_metrics": self.layout_metrics,
+            "attack_records": [record.to_dict() for record in self.attack_records],
+            "elapsed_s": self.elapsed_s,
+        }
+
+    def metric(self, name: str, layout: str = "protected") -> Any:
+        """A layout/compare metric value for one layout variant."""
+        return self.layout_metrics[name][layout]
+
+    def records(self, attack: Optional[str] = None,
+                layout: Optional[str] = None) -> List[AttackRecord]:
+        return [
+            record for record in self.attack_records
+            if (attack is None or record.attack == attack)
+            and (layout is None or record.layout == layout)
+        ]
+
+    def security_mean(self, attack: Optional[str] = None,
+                      layout: str = "protected") -> Dict[str, float]:
+        """CCR/OER/HD of the ``security`` metric averaged over split layers.
+
+        Replicates the historical ``attack_layout_average`` arithmetic
+        (plain sum over runs divided by run count) so tables built from
+        scenario results are bit-identical with the legacy path.
+        """
+        totals = {"ccr": 0.0, "oer": 0.0, "hd": 0.0}
+        count = 0
+        for record in self.records(attack=attack, layout=layout):
+            security = record.metrics.get("security")
+            if security is None:
+                continue
+            for key in totals:
+                totals[key] += security[key]
+            count += 1
+        if count == 0:
+            # All-zero CCR is the paper's headline *result* — never fabricate
+            # it from an empty filter (typo'd layout/attack, missing metric).
+            raise ValueError(
+                f"no 'security' records match attack={attack!r}, layout={layout!r} "
+                f"in scenario {self.spec_hash[:12]} (layouts={self.spec.layouts}, "
+                f"attacks={tuple(a.name for a in self.spec.attacks)})"
+            )
+        return {key: value / count for key, value in totals.items()}
+
+
+def _build_scheme(payload: Mapping[str, Any]):
+    """Build one scheme from a plain payload (module-level: pickles for pools)."""
+    ensure_builtins()
+    netlist = get_benchmark(
+        payload["benchmark"], seed=payload["seed"], scale=payload["scale"]
+    )
+    entry = DEFENSES.get(payload["scheme"])
+    params = entry.make_params(payload["scheme_params"])
+    return entry.fn(netlist, params, payload["seed"])
+
+
+def _build_scheme_keyed(key: str, payload: Mapping[str, Any]):
+    return key, _build_scheme(payload)
+
+
+def default_jobs() -> int:
+    """Worker count used when ``jobs`` is not given."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+class Workspace:
+    """Owns artefact caches and runs declarative scenarios.
+
+    A workspace is cheap to create; everything it caches lives on the
+    instance, so tests and services can hold isolated sessions.  Most code
+    shares the process-wide :func:`default_workspace`.
+    """
+
+    def __init__(self, *, jobs: Optional[int] = None):
+        self.default_jobs = jobs
+        self._builds: Dict[str, Any] = {}
+        self._scenarios: Dict[str, ScenarioResult] = {}
+        self._netlists: Dict[Tuple[str, int, Optional[float]], Netlist] = {}
+        self._lock = threading.RLock()
+        self._stats = {
+            "build_hits": 0, "build_misses": 0,
+            "scenario_hits": 0, "scenario_misses": 0,
+        }
+
+    # -- artefact cache ----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._builds)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._stats)
+
+    def clear(self) -> None:
+        """Drop every cached build, scenario result and netlist."""
+        with self._lock:
+            self._builds.clear()
+            self._scenarios.clear()
+            self._netlists.clear()
+
+    def has_build(self, spec: ScenarioSpec) -> bool:
+        key = spec.build_key()
+        with self._lock:
+            return key in self._builds
+
+    def netlist(self, benchmark: str, seed: int = 0,
+                scale: Optional[float] = None) -> Netlist:
+        """The benchmark netlist (cached; netlists are never mutated)."""
+        key = (benchmark, seed, scale)
+        with self._lock:
+            cached = self._netlists.get(key)
+        if cached is not None:
+            return cached
+        netlist = get_benchmark(benchmark, seed=seed, scale=scale)
+        with self._lock:
+            return self._netlists.setdefault(key, netlist)
+
+    def build(self, spec: ScenarioSpec):
+        """The :class:`~repro.api.schemes.SchemeBuild` for ``spec`` (cached)."""
+        ensure_builtins()
+        key = spec.build_key()
+        with self._lock:
+            if key in self._builds:
+                self._stats["build_hits"] += 1
+                return self._builds[key]
+            self._stats["build_misses"] += 1
+        entry = DEFENSES.get(spec.scheme)
+        params = entry.make_params(spec.scheme_params)
+        netlist = self.netlist(spec.benchmark, seed=spec.seed, scale=spec.scale)
+        built = entry.fn(netlist, params, spec.seed)
+        with self._lock:
+            built = self._builds.setdefault(key, built)
+        self._publish_baseline(spec, built)
+        return built
+
+    def _publish_baseline(self, spec: ScenarioSpec, built) -> None:
+        """Register a proposed build's original layout under the matching
+        ``original`` build key, so compare-scope baselines of sibling
+        scenarios reuse it instead of re-running place+route."""
+        if built.scheme != "proposed" or built.protection is None:
+            return
+        from repro.api.schemes import SchemeBuild
+
+        # protect() sizes the floorplan with config.utilization but places at
+        # build_layout's default utilization (0.70) — mirror the params an
+        # independent 'original' build of that layout would use.
+        floorplan_util = built.protection.config.utilization
+        params: Dict[str, Any] = {"utilization": 0.70}
+        if floorplan_util != 0.70:
+            params["floorplan_utilization"] = floorplan_util
+        original_spec = ScenarioSpec(
+            benchmark=spec.benchmark, scheme="original", scheme_params=params,
+            scale=spec.scale, seed=spec.seed,
+        )
+        original = built.protection.original_layout
+        with self._lock:
+            self._builds.setdefault(
+                original_spec.build_key(),
+                SchemeBuild(scheme="original", layout=original, baseline=original),
+            )
+
+    def protection(self, benchmark: str,
+                   config: Optional[ProtectionConfig] = None,
+                   *, scale: Optional[float] = None) -> ProtectionResult:
+        """Run (or fetch) the paper's protection flow for ``benchmark``.
+
+        This is the typed convenience entry the legacy
+        ``protection_artifacts`` shim delegates to; the cache key covers
+        every :class:`ProtectionConfig` field.
+        """
+        config = config if config is not None else ProtectionConfig()
+        build = self.build(self._proposed_spec(benchmark, config, scale))
+        return build.protection
+
+    @staticmethod
+    def _proposed_spec(benchmark: str, config: ProtectionConfig,
+                       scale: Optional[float]) -> ScenarioSpec:
+        from repro.api.registry import params_to_dict
+        from repro.api.schemes import ProposedParams
+
+        return ScenarioSpec(
+            benchmark=benchmark,
+            scheme="proposed",
+            scheme_params=params_to_dict(ProposedParams.from_protection_config(config)),
+            scale=scale,
+            seed=config.seed,
+        )
+
+    # -- parallel prewarm --------------------------------------------------
+
+    def prewarm(self, specs: Iterable[ScenarioSpec],
+                jobs: Optional[int] = None) -> List[ScenarioSpec]:
+        """Build the missing artefacts of ``specs`` in parallel processes.
+
+        Returns the specs whose builds actually ran (first spec per distinct
+        build key, in input order).  Mirrors the historical behaviour:
+        no/broken multiprocessing degrades to serial, results of successful
+        sibling builds are published even when one build fails, and the
+        first failure is re-raised afterwards.
+        """
+        ensure_builtins()
+        distinct: Dict[str, ScenarioSpec] = {}
+        for spec in specs:
+            distinct.setdefault(spec.build_key(), spec)
+        with self._lock:
+            missing = {
+                key: spec for key, spec in distinct.items() if key not in self._builds
+            }
+        if not missing:
+            return []
+        jobs = jobs if jobs is not None else (self.default_jobs or default_jobs())
+        jobs = max(1, min(jobs, len(missing)))
+
+        executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        if jobs > 1:
+            try:
+                executor = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+            except (OSError, PermissionError):
+                executor = None
+        if executor is not None:
+            worker_error: Optional[BaseException] = None
+            try:
+                with executor:
+                    futures = {
+                        executor.submit(
+                            _build_scheme_keyed, key, spec.build_dict()
+                        ): key
+                        for key, spec in missing.items()
+                    }
+                    for future in concurrent.futures.as_completed(futures):
+                        try:
+                            key, built = future.result()
+                        except concurrent.futures.process.BrokenProcessPool:
+                            raise
+                        except Exception as error:
+                            if worker_error is None:
+                                worker_error = error
+                            continue
+                        with self._lock:
+                            built = self._builds.setdefault(key, built)
+                        self._publish_baseline(missing[key], built)
+                if worker_error is not None:
+                    raise worker_error
+                return list(missing.values())
+            except concurrent.futures.process.BrokenProcessPool:
+                # The environment killed the pool (e.g. forbidden fork);
+                # whatever was published stays, the rest builds serially.
+                pass
+
+        for spec in missing.values():
+            self.build(spec)
+        return list(missing.values())
+
+    # -- scenario execution ------------------------------------------------
+
+    def run_scenario(self, spec: ScenarioSpec) -> ScenarioResult:
+        """Execute one scenario (memoized by its content hash)."""
+        ensure_builtins()
+        spec_hash = spec.content_hash()
+        with self._lock:
+            if spec_hash in self._scenarios:
+                self._stats["scenario_hits"] += 1
+                return self._scenarios[spec_hash]
+            self._stats["scenario_misses"] += 1
+        start = time.time()
+        result = self._execute(spec, spec_hash)
+        result.elapsed_s = time.time() - start
+        with self._lock:
+            return self._scenarios.setdefault(spec_hash, result)
+
+    def run_scenarios(self, specs: Sequence[ScenarioSpec],
+                      jobs: Optional[int] = None) -> List[ScenarioResult]:
+        """Batch API: prewarm the distinct builds, then run every scenario.
+
+        ``jobs=None`` falls back to the workspace's constructor default
+        (serial when that is unset too).
+        """
+        specs = list(specs)
+        jobs = jobs if jobs is not None else (self.default_jobs or 1)
+        if jobs > 1:
+            self.prewarm(specs, jobs=jobs)
+        return [self.run_scenario(spec) for spec in specs]
+
+    def _baseline_layout(self, spec: ScenarioSpec, build) -> Any:
+        """The original-layout baseline compare-scope metrics run against."""
+        if build.baseline is not None:
+            return build.baseline
+        scheme_params = dict(spec.scheme_params)
+        baseline_params: Dict[str, Any] = {}
+        if "utilization" in scheme_params:
+            baseline_params["utilization"] = scheme_params["utilization"]
+        if scheme_params.get("floorplan_utilization") is not None:
+            baseline_params["floorplan_utilization"] = scheme_params["floorplan_utilization"]
+        baseline_spec = ScenarioSpec(
+            benchmark=spec.benchmark, scheme="original",
+            scheme_params=baseline_params, scale=spec.scale, seed=spec.seed,
+        )
+        return self.build(baseline_spec).layout
+
+    def _execute(self, spec: ScenarioSpec, spec_hash: str) -> ScenarioResult:
+        from repro.api.metrics import MetricContext
+
+        build = self.build(spec)
+        protected_nets = build.protected_nets
+        metric_entries = [(m, METRICS.get(m.name)) for m in spec.metrics]
+        for metric_spec, entry in metric_entries:
+            scope = entry.extra.get("scope")
+            if scope not in ("attack", "layout", "compare"):
+                raise ValueError(f"metric {metric_spec.name!r} has invalid scope {scope!r}")
+        attack_entries = [(a, ATTACKS.get(a.name)) for a in spec.attacks]
+
+        result = ScenarioResult(
+            spec=spec, spec_hash=spec_hash,
+            benchmark=spec.benchmark, scheme=spec.scheme,
+        )
+
+        def context(layout_name: str, split_layer: Optional[int] = None) -> MetricContext:
+            return MetricContext(
+                benchmark=spec.benchmark,
+                scheme=spec.scheme,
+                layout_name=layout_name,
+                num_patterns=spec.num_patterns,
+                seed=spec.seed,
+                protected_nets=protected_nets,
+                restrict_to_protected=(
+                    build.restrict_to_protected and layout_name == "protected"
+                ),
+                split_layer=split_layer,
+            )
+
+        baseline = None
+        needs_baseline = any(
+            entry.extra.get("scope") == "compare" for _, entry in metric_entries
+        )
+        if needs_baseline:
+            baseline = self._baseline_layout(spec, build)
+
+        for layout_name in spec.layouts:
+            layout = build.variant(layout_name)
+            ctx = context(layout_name)
+            for metric_spec, entry in metric_entries:
+                scope = entry.extra.get("scope")
+                if scope == "attack":
+                    continue
+                params = entry.make_params(metric_spec.params)
+                if scope == "layout":
+                    value = entry.fn(layout, params, ctx)
+                elif layout is baseline:
+                    # Comparing the baseline against itself yields guaranteed
+                    # zeros — skip the wasted measurement pass.
+                    continue
+                else:  # compare
+                    value = entry.fn(layout, baseline, params, ctx)
+                result.layout_metrics.setdefault(metric_spec.name, {})[layout_name] = value
+
+            for split_layer in spec.split_layers:
+                if not attack_entries:
+                    continue
+                view = extract_feol(layout, split_layer)
+                attack_ctx = context(layout_name, split_layer)
+                for attack_spec, attack_entry in attack_entries:
+                    attack_params = attack_entry.make_params(attack_spec.params)
+                    outcome = attack_entry.fn(view, attack_params)
+                    record = AttackRecord(
+                        attack=attack_spec.name, layout=layout_name,
+                        split_layer=split_layer,
+                    )
+                    for metric_spec, entry in metric_entries:
+                        if entry.extra.get("scope") != "attack":
+                            continue
+                        params = entry.make_params(metric_spec.params)
+                        record.metrics[metric_spec.name] = entry.fn(
+                            view, outcome, params, attack_ctx
+                        )
+                    result.attack_records.append(record)
+        return result
+
+
+_DEFAULT_WORKSPACE: Optional[Workspace] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_workspace() -> Workspace:
+    """The process-wide shared workspace (created lazily)."""
+    global _DEFAULT_WORKSPACE
+    with _DEFAULT_LOCK:
+        if _DEFAULT_WORKSPACE is None:
+            _DEFAULT_WORKSPACE = Workspace()
+        return _DEFAULT_WORKSPACE
+
+
+def reset_default_workspace() -> None:
+    """Replace the shared workspace with a fresh one (tests, services)."""
+    global _DEFAULT_WORKSPACE
+    with _DEFAULT_LOCK:
+        _DEFAULT_WORKSPACE = None

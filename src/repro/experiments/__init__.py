@@ -18,6 +18,10 @@ in :mod:`repro.experiments.paper_data` so reports can show both side by side.
 | ``figure5_wirelength_layers`` | Fig. 5 — per-layer wirelength shares |
 | ``figure6_ppa`` | Fig. 6 — PPA overheads vs Sengupta et al. |
 | ``headline`` | Sec. 5.2 headline numbers (0 % CCR, ≈100 % OER, ≈40 % HD) |
+Every experiment module also exposes a ``scenarios(config)`` function
+returning the declarative :class:`~repro.api.spec.ScenarioSpec` grid its
+table is assembled from — the table modules are thin formatters over
+``repro.api`` scenario results.
 """
 
 from repro.experiments.common import ExperimentConfig, protection_artifacts

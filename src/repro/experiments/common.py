@@ -1,26 +1,30 @@
-"""Shared configuration and cached artefact construction for experiments.
+"""Shared configuration and artefact access for the experiment harness.
 
-The protection flow is by far the most expensive step of every experiment,
-so its artefacts are cached process-wide and can be **prewarmed in
-parallel**: :func:`prewarm_artifacts` farms the independent benchmark runs
-out to a :class:`concurrent.futures.ProcessPoolExecutor` (every artefact —
-netlists, layouts, randomization records — pickles cleanly) and publishes
-the results into the shared cache under a lock, so later experiment code
-only ever hits the cache.  Environments without working multiprocessing
-(sandboxes, restricted CI) fall back to serial construction transparently.
+The artefact cache now lives in the :class:`repro.api.Workspace` (see
+``repro/api/workspace.py``): builds are keyed by the full canonical build
+hash of their scenario spec, so every :class:`ProtectionConfig` field is part
+of the key — the historical module-global cache keyed only on
+``(benchmark, scale, seed)`` and silently served stale artefacts across
+configs that differed in e.g. ``iscas_lift_layer``.
+
+Everything exported here (``protection_artifacts``, ``prewarm_artifacts``,
+``clear_artifact_cache``) keeps its historical signature and delegates to the
+process-wide default workspace, so legacy call sites keep working unchanged.
+New code should talk to the workspace / scenario API directly.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import os
-import threading
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.circuits.registry import get_benchmark
+from repro.api.registry import params_to_dict
+from repro.api.schemes import ProposedParams
+from repro.api.spec import AttackSpec, MetricSpec, ScenarioSpec
+from repro.api.workspace import default_jobs, default_workspace
 from repro.circuits.superblue import SUPERBLUE_PROFILES
-from repro.core.flow import ProtectionConfig, ProtectionResult, protect
+from repro.core.flow import ProtectionConfig, ProtectionResult
 
 
 @dataclass(frozen=True)
@@ -87,56 +91,105 @@ class ExperimentConfig:
             seed=self.seed,
         )
 
+    def benchmark_scale(self, benchmark: str) -> Optional[float]:
+        """The scale passed to the benchmark generator (None for ISCAS)."""
+        if self.is_superblue(benchmark):
+            return self.superblue_scale if self.superblue_scale != 1.0 else None
+        return None
 
-#: Process-wide cache so that e.g. Table 1, Table 2 and Fig. 5 reuse the same
-#: superblue protection runs instead of re-running the flow per experiment.
-#: Guarded by :data:`_CACHE_LOCK` so prewarm workers' results can be
-#: published from multiple threads safely.
-_ARTIFACT_CACHE: Dict[Tuple[str, float, int], ProtectionResult] = {}
-_CACHE_LOCK = threading.Lock()
+    def split_layers(self, benchmark: str) -> Tuple[int, ...]:
+        if self.is_superblue(benchmark):
+            return (self.superblue_split_layer,)
+        return tuple(self.iscas_split_layers)
+
+    # -- scenario-spec construction ---------------------------------------
+
+    def proposed_scheme_params(self, benchmark: str) -> Dict[str, Any]:
+        """The ``proposed`` scheme parameters for ``benchmark`` as plain data."""
+        config = self.protection_config(benchmark)
+        return params_to_dict(ProposedParams.from_protection_config(config))
+
+    def scenario(self, benchmark: str, *, scheme: str = "proposed",
+                 scheme_params: Optional[Mapping[str, Any]] = None,
+                 layouts: Tuple[str, ...] = ("protected",),
+                 split_layers: Optional[Tuple[int, ...]] = None,
+                 attacks: Iterable[Any] = (),
+                 metrics: Iterable[Any] = ()) -> ScenarioSpec:
+        """Build one :class:`ScenarioSpec` following this config's conventions.
+
+        The ``proposed`` scheme's parameters default to the per-benchmark
+        :meth:`protection_config`; other schemes default to their registered
+        parameter defaults.
+        """
+        if scheme_params is None and scheme == "proposed":
+            scheme_params = self.proposed_scheme_params(benchmark)
+        return ScenarioSpec(
+            benchmark=benchmark,
+            scheme=scheme,
+            scheme_params=scheme_params or {},
+            scale=self.benchmark_scale(benchmark),
+            layouts=layouts,
+            split_layers=(
+                split_layers if split_layers is not None
+                else self.split_layers(benchmark)
+            ),
+            attacks=tuple(AttackSpec.coerce(a) for a in attacks),
+            metrics=tuple(MetricSpec.coerce(m) for m in metrics),
+            num_patterns=self.num_patterns,
+            seed=self.seed,
+        )
+
+    # -- serialization (CLI / JSON-driven runs) ----------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        return {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in data.items()
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
+        fields = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - set(fields))
+        if unknown:
+            raise TypeError(
+                f"unknown ExperimentConfig field(s): {', '.join(unknown)}; "
+                f"accepted: {', '.join(sorted(fields))}"
+            )
+        kwargs = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in data.items()
+        }
+        return cls(**kwargs)
 
 
-def _artifact_key(benchmark: str, config: ExperimentConfig) -> Tuple[str, float, int]:
-    scale = config.superblue_scale if config.is_superblue(benchmark) else 1.0
-    return (benchmark, scale, config.seed)
-
-
-def _build_artifact(benchmark: str, config: ExperimentConfig) -> ProtectionResult:
-    """Run the protection flow for one benchmark (no cache interaction).
-
-    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` workers
-    can pickle a reference to it.
-    """
-    scale = config.superblue_scale if config.is_superblue(benchmark) else 1.0
-    netlist = get_benchmark(benchmark, seed=config.seed,
-                            scale=scale if scale != 1.0 else None)
-    return protect(netlist, config.protection_config(benchmark))
+def _proposed_spec(benchmark: str, config: ExperimentConfig) -> ScenarioSpec:
+    return config.scenario(benchmark)
 
 
 def protection_artifacts(benchmark: str, config: Optional[ExperimentConfig] = None,
                          use_cache: bool = True) -> ProtectionResult:
     """Return (and cache) the protection-flow artefacts for ``benchmark``.
 
-    The returned :class:`~repro.core.flow.ProtectionResult` bundles the
-    original, naive-lifted and protected layouts plus the randomization
-    bookkeeping — everything the individual experiments need.
+    Legacy shim over :meth:`repro.api.Workspace.protection`; the cache key
+    covers every build-relevant configuration field.
     """
+    from repro.api.workspace import Workspace
+
     config = config if config is not None else ExperimentConfig()
-    key = _artifact_key(benchmark, config)
-    if use_cache:
-        with _CACHE_LOCK:
-            if key in _ARTIFACT_CACHE:
-                return _ARTIFACT_CACHE[key]
-    result = _build_artifact(benchmark, config)
-    if use_cache:
-        with _CACHE_LOCK:
-            result = _ARTIFACT_CACHE.setdefault(key, result)
-    return result
+    # use_cache=False runs the flow on a throwaway workspace so the shared
+    # cache is neither read nor polluted.
+    workspace = default_workspace() if use_cache else Workspace()
+    return workspace.protection(
+        benchmark, config.protection_config(benchmark),
+        scale=config.benchmark_scale(benchmark),
+    )
 
 
 def default_prewarm_jobs() -> int:
     """Worker count used when ``prewarm_artifacts(jobs=None)``."""
-    return max(1, min(os.cpu_count() or 1, 8))
+    return default_jobs()
 
 
 def prewarm_artifacts(benchmarks: Iterable[str],
@@ -144,75 +197,20 @@ def prewarm_artifacts(benchmarks: Iterable[str],
                       jobs: Optional[int] = None) -> List[str]:
     """Build the protection artefacts of ``benchmarks`` in parallel.
 
-    Independent benchmarks are dispatched to a process pool (``jobs``
-    workers, default :func:`default_prewarm_jobs`) and the finished
-    :class:`ProtectionResult` objects are published into the shared artefact
-    cache.  Already-cached benchmarks are skipped.  When multiprocessing is
-    unavailable — or for a single missing benchmark — construction happens
-    serially in-process.
-
-    Returns the list of benchmark names that were actually built.
+    Legacy shim over :meth:`repro.api.Workspace.prewarm`.  Returns the list
+    of benchmark names that were actually built (deduplicated, input order).
     """
     config = config if config is not None else ExperimentConfig()
-    ordered: List[str] = []
+    ordered: List[ScenarioSpec] = []
     seen = set()
     for benchmark in benchmarks:
         if benchmark not in seen:
             seen.add(benchmark)
-            ordered.append(benchmark)
-    with _CACHE_LOCK:
-        missing = [b for b in ordered if _artifact_key(b, config) not in _ARTIFACT_CACHE]
-    if not missing:
-        return []
-    jobs = jobs if jobs is not None else default_prewarm_jobs()
-    jobs = max(1, min(jobs, len(missing)))
-
-    executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
-    if jobs > 1:
-        try:
-            executor = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
-        except (OSError, PermissionError):
-            # Sandboxed/CI environments may forbid subprocesses or the
-            # semaphores they need; degrade to serial construction.
-            executor = None
-    if executor is not None:
-        worker_error: Optional[BaseException] = None
-        try:
-            with executor:
-                futures = {
-                    executor.submit(_build_artifact, benchmark, config): benchmark
-                    for benchmark in missing
-                }
-                for future in concurrent.futures.as_completed(futures):
-                    benchmark = futures[future]
-                    try:
-                        result = future.result()
-                    except concurrent.futures.process.BrokenProcessPool:
-                        raise
-                    except Exception as error:
-                        # A genuine build failure: remember it, but keep
-                        # publishing the sibling results so they are not
-                        # rebuilt if the caller retries.
-                        if worker_error is None:
-                            worker_error = error
-                        continue
-                    with _CACHE_LOCK:
-                        _ARTIFACT_CACHE.setdefault(_artifact_key(benchmark, config), result)
-            if worker_error is not None:
-                raise worker_error
-            return missing
-        except concurrent.futures.process.BrokenProcessPool:
-            # The environment killed the pool mid-flight (e.g. forbidden
-            # fork); anything already published stays cached, the rest is
-            # built serially below.
-            pass
-
-    for benchmark in missing:
-        protection_artifacts(benchmark, config)
-    return missing
+            ordered.append(_proposed_spec(benchmark, config))
+    built = default_workspace().prewarm(ordered, jobs=jobs)
+    return [spec.benchmark for spec in built]
 
 
 def clear_artifact_cache() -> None:
-    """Drop every cached protection run (used by tests)."""
-    with _CACHE_LOCK:
-        _ARTIFACT_CACHE.clear()
+    """Drop every cached build from the default workspace (used by tests)."""
+    default_workspace().clear()

@@ -5,6 +5,9 @@ the original, naively lifted and proposed layouts of superblue18.  Without a
 plotting dependency the experiment reports the distribution as percentile
 series (which is what the scatter plots convey: original and lifted hug small
 values, proposed spreads up to the die diagonal) plus fixed-width histograms.
+
+One :class:`~repro.api.spec.ScenarioSpec` (the ``distances`` metric with raw
+values) over the three layout variants of the proposed build.
 """
 
 from __future__ import annotations
@@ -13,8 +16,10 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.common import ExperimentConfig, protection_artifacts
-from repro.metrics.distances import distance_histogram, distance_stats
+from repro.api.spec import ScenarioSpec
+from repro.api.workspace import default_workspace
+from repro.experiments.common import ExperimentConfig
+from repro.metrics.distances import distance_histogram
 from repro.utils.tables import Table
 
 #: Percentiles reported for each layout's distance distribution.
@@ -41,26 +46,32 @@ def _percentile_series(values: Sequence[float],
     ]
 
 
+def scenarios(config: Optional[ExperimentConfig] = None,
+              benchmark: str = DEFAULT_BENCHMARK) -> List[ScenarioSpec]:
+    """The scenario behind Fig. 4 (one spec; raw distance values included)."""
+    config = config if config is not None else ExperimentConfig()
+    return [
+        config.scenario(
+            benchmark,
+            layouts=("original", "lifted", "protected"),
+            metrics=({"name": "distances", "params": {"include_values": True}},),
+        )
+    ]
+
+
 def run(config: Optional[ExperimentConfig] = None,
         benchmark: str = DEFAULT_BENCHMARK) -> Table:
     """Regenerate Fig. 4 as a percentile table."""
     config = config if config is not None else ExperimentConfig()
-    result = protection_artifacts(benchmark, config)
-    protected_nets = set(result.protected_layout.protected_nets)
+    (result,) = default_workspace().run_scenarios(scenarios(config, benchmark))
     table = Table(
         title=f"Figure 4: distance distribution percentiles for {benchmark} (microns)",
         columns=["Layout", *[f"p{p}" for p in PERCENTILES]],
     )
-    layouts = [
-        ("Original", result.original_layout),
-        ("Lifted", result.naive_lifted_layout),
-        ("Proposed", result.protected_layout),
-    ]
-    for label, layout in layouts:
-        if layout is None:
-            continue
-        stats = distance_stats(layout, protected_nets)
-        series = _percentile_series(stats.values, PERCENTILES)
+    for variant, label in (("original", "Original"), ("lifted", "Lifted"),
+                           ("protected", "Proposed")):
+        values = result.metric("distances", variant)["values"]
+        series = _percentile_series(values, PERCENTILES)
         table.add_row([label, *[round(value, 2) for value in series]])
     return table
 
@@ -69,20 +80,12 @@ def histograms(config: Optional[ExperimentConfig] = None,
                benchmark: str = DEFAULT_BENCHMARK, num_bins: int = 16) -> Dict[str, List[int]]:
     """Fixed-width histograms of the three distributions (plot-ready data)."""
     config = config if config is not None else ExperimentConfig()
-    result = protection_artifacts(benchmark, config)
-    protected_nets = set(result.protected_layout.protected_nets)
-    output: Dict[str, List[int]] = {}
-    layouts = [
-        ("original", result.original_layout),
-        ("lifted", result.naive_lifted_layout),
-        ("proposed", result.protected_layout),
-    ]
-    for label, layout in layouts:
-        if layout is None:
-            continue
-        stats = distance_stats(layout, protected_nets)
-        output[label] = distance_histogram(stats.values, num_bins)
-    return output
+    (result,) = default_workspace().run_scenarios(scenarios(config, benchmark))
+    return {
+        label: distance_histogram(result.metric("distances", variant)["values"], num_bins)
+        for variant, label in (("original", "original"), ("lifted", "lifted"),
+                               ("protected", "proposed"))
+    }
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

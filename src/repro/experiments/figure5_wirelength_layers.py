@@ -6,16 +6,39 @@ nets' wiring in the lower metal layers, naive lifting spreads it out, and the
 proposed scheme holds the majority in the BEOL (above the split layer).  The
 experiment reports the per-layer percentage shares plus the cumulative share
 above the split layer.
+
+One :class:`~repro.api.spec.ScenarioSpec` per benchmark (the
+``wirelength_layers`` metric with the superblue split layer) over the three
+layout variants of the proposed build.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
-from repro.experiments.common import ExperimentConfig, protection_artifacts
-from repro.metrics.wirelength import beol_wirelength_fraction, wirelength_share_by_layer
+from repro.api.spec import ScenarioSpec
+from repro.api.workspace import default_workspace
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.table1_distances import LAYOUT_LABELS
 from repro.netlist.cells import NUM_METAL_LAYERS
 from repro.utils.tables import Table
+
+
+def scenarios(config: Optional[ExperimentConfig] = None) -> List[ScenarioSpec]:
+    """The scenario grid behind Fig. 5."""
+    config = config if config is not None else ExperimentConfig()
+    metric = {
+        "name": "wirelength_layers",
+        "params": {"split_layer": config.superblue_split_layer},
+    }
+    return [
+        config.scenario(
+            benchmark,
+            layouts=("original", "lifted", "protected"),
+            metrics=(metric,),
+        )
+        for benchmark in config.superblue_benchmarks
+    ]
 
 
 def run(config: Optional[ExperimentConfig] = None) -> Table:
@@ -26,24 +49,14 @@ def run(config: Optional[ExperimentConfig] = None) -> Table:
         title="Figure 5: wirelength share per metal layer for randomized nets (%)",
         columns=["Benchmark", "Layout", *layer_columns, "Above split"],
     )
-    split = config.superblue_split_layer
-    for benchmark in config.superblue_benchmarks:
-        result = protection_artifacts(benchmark, config)
-        nets = set(result.protected_layout.protected_nets)
-        layouts = [
-            ("Original", result.original_layout),
-            ("Lifted", result.naive_lifted_layout),
-            ("Proposed", result.protected_layout),
-        ]
-        for label, layout in layouts:
-            if layout is None:
-                continue
-            shares = wirelength_share_by_layer(layout, nets)
-            above = beol_wirelength_fraction(layout, split, nets)
+    for result in default_workspace().run_scenarios(scenarios(config)):
+        for variant, label in LAYOUT_LABELS:
+            value = result.metric("wirelength_layers", variant)
+            shares = value["shares"]
             table.add_row([
-                benchmark, label,
+                result.benchmark, label,
                 *[round(shares.get(layer, 0.0), 1) for layer in range(1, NUM_METAL_LAYERS + 1)],
-                round(above, 1),
+                round(value["above_split"], 1),
             ])
     return table
 

@@ -5,17 +5,39 @@ scheme against those of the layout-randomization scheme on the ISCAS-85
 suite.  Both schemes are run through this reproduction's flow so the bars are
 regenerated (the paper-quoted averages are kept in
 :mod:`repro.experiments.paper_data`).
+
+Two scenario cells per benchmark (proposed, layout randomization), each with
+the ``ppa_overheads`` compare metric against the original baseline.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
-from repro.circuits.registry import get_benchmark
-from repro.defenses.layout_randomization import LayoutRandomizationStrategy, layout_randomization_defense
-from repro.experiments.common import ExperimentConfig, protection_artifacts
-from repro.metrics.ppa import ppa_overheads
+from repro.api.spec import ScenarioSpec
+from repro.api.workspace import default_workspace
+from repro.experiments.common import ExperimentConfig
 from repro.utils.tables import Table
+
+
+def _cells(config: ExperimentConfig, benchmark: str) -> List[ScenarioSpec]:
+    return [
+        config.scenario(benchmark, metrics=("ppa_overheads",)),
+        config.scenario(
+            benchmark, scheme="layout_randomization",
+            scheme_params={"strategy": "random"},
+            metrics=("ppa_overheads",),
+        ),
+    ]
+
+
+def scenarios(config: Optional[ExperimentConfig] = None) -> List[ScenarioSpec]:
+    """The scenario grid behind Fig. 6."""
+    config = config if config is not None else ExperimentConfig()
+    specs: List[ScenarioSpec] = []
+    for benchmark in config.iscas_benchmarks:
+        specs.extend(_cells(config, benchmark))
+    return specs
 
 
 def run(config: Optional[ExperimentConfig] = None) -> Table:
@@ -26,17 +48,13 @@ def run(config: Optional[ExperimentConfig] = None) -> Table:
         columns=["Benchmark", "Proposed area", "Proposed power", "Proposed delay",
                  "Randomized area", "Randomized power", "Randomized delay"],
     )
+    workspace = default_workspace()
     sums = [0.0] * 6
     count = 0
     for benchmark in config.iscas_benchmarks:
-        result = protection_artifacts(benchmark, config)
-        over = result.overheads
-        netlist = get_benchmark(benchmark, seed=config.seed)
-        randomized_layout = layout_randomization_defense(
-            netlist, LayoutRandomizationStrategy.RANDOM,
-            floorplan=result.original_layout.floorplan, seed=config.seed,
-        )
-        randomized = ppa_overheads(randomized_layout, result.original_layout)
+        proposed_cell, randomized_cell = workspace.run_scenarios(_cells(config, benchmark))
+        over = proposed_cell.metric("ppa_overheads")
+        randomized = randomized_cell.metric("ppa_overheads")
         row = [
             round(over["area_percent"], 2), round(over["power_percent"], 2),
             round(over["delay_percent"], 2),

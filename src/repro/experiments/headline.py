@@ -3,16 +3,35 @@
 The experiment averages the proposed scheme's security metrics over the
 ISCAS-85 suite (splits M3–M5), plus the original-layout baseline, and reports
 both next to the paper's quoted averages.
+
+One scenario cell per benchmark: the proposed build, attacked on its
+``original`` and ``protected`` variants with the network-flow attack.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-from repro.experiments.common import ExperimentConfig, protection_artifacts
+from repro.api.spec import ScenarioSpec
+from repro.api.workspace import default_workspace
+from repro.experiments.common import ExperimentConfig
 from repro.experiments.paper_data import PAPER_HEADLINE, PAPER_PRIOR_ART_AVERAGE_CCR
-from repro.experiments.table4_placement_schemes import attack_layout_average
 from repro.utils.tables import Table
+
+
+def scenarios(config: Optional[ExperimentConfig] = None) -> List[ScenarioSpec]:
+    """The scenario grid behind the headline numbers."""
+    config = config if config is not None else ExperimentConfig()
+    return [
+        config.scenario(
+            benchmark,
+            layouts=("original", "protected"),
+            split_layers=tuple(config.iscas_split_layers),
+            attacks=("network_flow",),
+            metrics=("security",),
+        )
+        for benchmark in config.iscas_benchmarks
+    ]
 
 
 def run(config: Optional[ExperimentConfig] = None) -> Table:
@@ -26,16 +45,9 @@ def run(config: Optional[ExperimentConfig] = None) -> Table:
     original_totals: Dict[str, float] = {"ccr": 0.0, "oer": 0.0, "hd": 0.0}
     proposed_totals: Dict[str, float] = {"ccr": 0.0, "oer": 0.0, "hd": 0.0}
     count = 0
-    for benchmark in config.iscas_benchmarks:
-        result = protection_artifacts(benchmark, config)
-        original = attack_layout_average(
-            result.original_layout, config.iscas_split_layers, config.num_patterns,
-            seed=config.seed,
-        )
-        proposed = attack_layout_average(
-            result.protected_layout, config.iscas_split_layers, config.num_patterns,
-            restrict_to_protected=True, seed=config.seed,
-        )
+    for result in default_workspace().run_scenarios(scenarios(config)):
+        original = result.security_mean(layout="original")
+        proposed = result.security_mean(layout="protected")
         for key in original_totals:
             original_totals[key] += original[key]
             proposed_totals[key] += proposed[key]

@@ -4,15 +4,37 @@ For every superblue benchmark the experiment reports mean / median / standard
 deviation of the distances between truly connected gates, for the original,
 naively lifted and proposed (protected) layouts.  The randomized nets are
 measured, mirroring the paper's focus on the nets its scheme touches.
+
+The experiment is a thin scenario grid: one
+:class:`~repro.api.spec.ScenarioSpec` per benchmark (scheme ``proposed``,
+``distances`` metric over the three layout variants), executed by the shared
+:class:`~repro.api.Workspace`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
-from repro.experiments.common import ExperimentConfig, protection_artifacts
-from repro.metrics.distances import distance_stats
+from repro.api.spec import ScenarioSpec
+from repro.api.workspace import default_workspace
+from repro.experiments.common import ExperimentConfig
 from repro.utils.tables import Table
+
+#: Layout-variant order and labels of the paper's table rows.
+LAYOUT_LABELS = (("original", "Original"), ("lifted", "Lifted"), ("protected", "Proposed"))
+
+
+def scenarios(config: Optional[ExperimentConfig] = None) -> List[ScenarioSpec]:
+    """The scenario grid behind Table 1."""
+    config = config if config is not None else ExperimentConfig()
+    return [
+        config.scenario(
+            benchmark,
+            layouts=("original", "lifted", "protected"),
+            metrics=("distances",),
+        )
+        for benchmark in config.superblue_benchmarks
+    ]
 
 
 def run(config: Optional[ExperimentConfig] = None) -> Table:
@@ -22,19 +44,14 @@ def run(config: Optional[ExperimentConfig] = None) -> Table:
         title="Table 1: Distances between connected gates (microns)",
         columns=["Benchmark", "Layout", "Mean", "Median", "Std. Dev."],
     )
-    for benchmark in config.superblue_benchmarks:
-        result = protection_artifacts(benchmark, config)
-        protected_nets = set(result.protected_layout.protected_nets)
-        layouts = [
-            ("Original", result.original_layout),
-            ("Lifted", result.naive_lifted_layout),
-            ("Proposed", result.protected_layout),
-        ]
-        for label, layout in layouts:
-            if layout is None:
-                continue
-            stats = distance_stats(layout, protected_nets)
-            table.add_row([benchmark, label, *stats.as_row()])
+    for result in default_workspace().run_scenarios(scenarios(config)):
+        for variant, label in LAYOUT_LABELS:
+            stats = result.metric("distances", variant)
+            table.add_row([
+                result.benchmark, label,
+                round(stats["mean"], 2), round(stats["median"], 2),
+                round(stats["std_dev"], 2),
+            ])
     return table
 
 

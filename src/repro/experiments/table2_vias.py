@@ -4,15 +4,34 @@ For every superblue benchmark the experiment reports the original via counts
 per layer pair (V12 … V910) and the percentage increase of the naive-lifting
 and proposed layouts, using the same randomized net set for both (as the
 paper does "for a fair comparison").
+
+One :class:`~repro.api.spec.ScenarioSpec` per benchmark: the ``via_counts``
+metric provides the original row, the ``via_delta`` (compare) metric the
+lifted/proposed percentage rows.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
-from repro.experiments.common import ExperimentConfig, protection_artifacts
-from repro.metrics.vias import VIA_NAMES, via_counts_by_name, via_delta_percent, total_via_delta_percent
+from repro.api.spec import ScenarioSpec
+from repro.api.workspace import default_workspace
+from repro.experiments.common import ExperimentConfig
+from repro.metrics.vias import VIA_NAMES
 from repro.utils.tables import Table
+
+
+def scenarios(config: Optional[ExperimentConfig] = None) -> List[ScenarioSpec]:
+    """The scenario grid behind Table 2."""
+    config = config if config is not None else ExperimentConfig()
+    return [
+        config.scenario(
+            benchmark,
+            layouts=("original", "lifted", "protected"),
+            metrics=("via_counts", "via_delta"),
+        )
+        for benchmark in config.superblue_benchmarks
+    ]
 
 
 def run(config: Optional[ExperimentConfig] = None) -> Table:
@@ -22,26 +41,19 @@ def run(config: Optional[ExperimentConfig] = None) -> Table:
         title="Table 2: Additional vias over original superblue layouts",
         columns=["Benchmark", "Layout", *VIA_NAMES, "Total"],
     )
-    for benchmark in config.superblue_benchmarks:
-        result = protection_artifacts(benchmark, config)
-        original = result.original_layout
-        lifted = result.naive_lifted_layout
-        protected = result.protected_layout
-        counts = via_counts_by_name(original)
-        table.add_row(
-            [benchmark, "Original", *[counts[name] for name in VIA_NAMES], original.total_vias()]
-        )
-        if lifted is not None:
-            deltas = via_delta_percent(lifted, original)
-            table.add_row(
-                [benchmark, "Lifted (%)", *[round(deltas[name], 2) for name in VIA_NAMES],
-                 round(total_via_delta_percent(lifted, original), 2)]
-            )
-        deltas = via_delta_percent(protected, original)
-        table.add_row(
-            [benchmark, "Proposed (%)", *[round(deltas[name], 2) for name in VIA_NAMES],
-             round(total_via_delta_percent(protected, original), 2)]
-        )
+    for result in default_workspace().run_scenarios(scenarios(config)):
+        counts = result.metric("via_counts", "original")
+        table.add_row([
+            result.benchmark, "Original",
+            *[counts["counts"][name] for name in VIA_NAMES], counts["total"],
+        ])
+        for variant, label in (("lifted", "Lifted (%)"), ("protected", "Proposed (%)")):
+            deltas = result.metric("via_delta", variant)
+            table.add_row([
+                result.benchmark, label,
+                *[round(deltas[name], 2) for name in VIA_NAMES],
+                round(deltas["total"], 2),
+            ])
     return table
 
 
@@ -53,9 +65,13 @@ def v56_increase_over_lifted(config: Optional[ExperimentConfig] = None) -> float
     naive lifting".
     """
     config = config if config is not None else ExperimentConfig()
+    workspace = default_workspace()
     increases = []
     for benchmark in config.superblue_benchmarks:
-        result = protection_artifacts(benchmark, config)
+        result = workspace.protection(
+            benchmark, config.protection_config(benchmark),
+            scale=config.benchmark_scale(benchmark),
+        )
         if result.naive_lifted_layout is None:
             continue
         lifted = result.naive_lifted_layout.via_counts().get((5, 6), 0)

@@ -5,44 +5,56 @@ lifted, proposed) the experiment runs the routing-centric attack of Magaña et
 al. on the FEOL view at the superblue split layer and reports the number of
 vpins and the expected candidate-list size for bounding boxes of 15, 30 and
 45 gcells.
+
+One :class:`~repro.api.spec.ScenarioSpec` per benchmark: the ``crouting``
+attack over the three layout variants, scored by the ``crouting_stats``
+metric.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
-from repro.attacks.crouting import CRoutingAttackConfig, crouting_attack
-from repro.experiments.common import ExperimentConfig, protection_artifacts
-from repro.sm.split import extract_feol
+from repro.api.spec import ScenarioSpec
+from repro.api.workspace import default_workspace
+from repro.attacks.crouting import CRoutingAttackConfig
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.table1_distances import LAYOUT_LABELS
 from repro.utils.tables import Table
+
+
+def scenarios(config: Optional[ExperimentConfig] = None) -> List[ScenarioSpec]:
+    """The scenario grid behind Table 3."""
+    config = config if config is not None else ExperimentConfig()
+    return [
+        config.scenario(
+            benchmark,
+            layouts=("original", "lifted", "protected"),
+            split_layers=(config.superblue_split_layer,),
+            attacks=("crouting",),
+            metrics=("crouting_stats",),
+        )
+        for benchmark in config.superblue_benchmarks
+    ]
 
 
 def run(config: Optional[ExperimentConfig] = None) -> Table:
     """Regenerate Table 3."""
     config = config if config is not None else ExperimentConfig()
-    attack_config = CRoutingAttackConfig()
-    boxes = attack_config.bounding_boxes
+    boxes = CRoutingAttackConfig().bounding_boxes
     table = Table(
         title="Table 3: crouting attack — vpins and candidate list sizes",
         columns=["Benchmark", "Layout", "#VPins", *[f"E[LS] bb{box}" for box in boxes],
                  *[f"Match bb{box} (%)" for box in boxes]],
     )
-    for benchmark in config.superblue_benchmarks:
-        result = protection_artifacts(benchmark, config)
-        layouts = [
-            ("Original", result.original_layout),
-            ("Lifted", result.naive_lifted_layout),
-            ("Proposed", result.protected_layout),
-        ]
-        for label, layout in layouts:
-            if layout is None:
-                continue
-            view = extract_feol(layout, config.superblue_split_layer)
-            outcome = crouting_attack(view, attack_config)
+    for result in default_workspace().run_scenarios(scenarios(config)):
+        for variant, label in LAYOUT_LABELS:
+            records = result.records(attack="crouting", layout=variant)
+            stats = records[0].metrics["crouting_stats"]
             table.add_row([
-                benchmark, label, outcome.num_vpins,
-                *[round(outcome.expected_list_size[box], 2) for box in boxes],
-                *[round(outcome.match_in_list[box], 1) for box in boxes],
+                result.benchmark, label, stats["num_vpins"],
+                *[round(stats["expected_list_size"][box], 2) for box in boxes],
+                *[round(stats["match_in_list"][box], 1) for box in boxes],
             ])
     return table
 

@@ -11,47 +11,93 @@ For every ISCAS-85 benchmark the experiment runs the network-flow attack on
 and reports CCR / OER / HD averaged over splits after M3, M4 and M5 — the
 same averaging the paper applies because the prior art does not state its
 split layer.
+
+The experiment is a scenario grid over the defense registry: one
+:class:`~repro.api.spec.ScenarioSpec` per (benchmark, scheme) cell with the
+``network_flow`` attack and the ``security`` metric; the original row comes
+from the ``original`` variant of the proposed scheme's own build (the same
+layout the legacy path scored).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.attacks.network_flow import network_flow_attack
-from repro.circuits.registry import get_benchmark
-from repro.defenses.layout_randomization import LayoutRandomizationStrategy, layout_randomization_defense
-from repro.defenses.placement_perturbation import placement_perturbation_defense
-from repro.experiments.common import ExperimentConfig, protection_artifacts
+from repro.api.registry import ATTACKS, METRICS
+from repro.api.spec import ScenarioSpec
+from repro.api.workspace import default_workspace
+from repro.experiments.common import ExperimentConfig
 from repro.layout.layout import Layout
-from repro.metrics.security import evaluate_attack
 from repro.sm.split import extract_feol
 from repro.utils.tables import Table
+
+#: Sengupta et al. strategies in the paper's column order.
+RANDOMIZATION_STRATEGIES = ("random", "g_color", "g_type1", "g_type2")
 
 
 def attack_layout_average(layout: Layout, split_layers: Sequence[int],
                           num_patterns: int, restrict_to_protected: bool = False,
                           seed: int = 0) -> Dict[str, float]:
-    """Run the network-flow attack at several split layers and average CCR/OER/HD."""
+    """Run the network-flow attack at several split layers and average CCR/OER/HD.
+
+    Legacy helper kept for backward compatibility (examples, ad-hoc
+    studies); new code should declare a :class:`ScenarioSpec` and use
+    :meth:`~repro.api.workspace.ScenarioResult.security_mean` instead.
+    """
+    attack_entry = ATTACKS.get("network_flow")
+    metric_entry = METRICS.get("security")
+    from repro.api.metrics import MetricContext
+
     ccr: List[float] = []
     oer: List[float] = []
     hd: List[float] = []
     for split in split_layers:
         view = extract_feol(layout, split)
-        outcome = network_flow_attack(view)
-        report = evaluate_attack(
-            view, outcome.assignment, outcome.recovered_netlist,
-            restrict_to_protected=restrict_to_protected,
+        outcome = attack_entry.fn(view, attack_entry.make_params())
+        ctx = MetricContext(
+            benchmark=layout.netlist.name, scheme="", layout_name="protected",
             num_patterns=num_patterns, seed=seed,
+            restrict_to_protected=restrict_to_protected, split_layer=split,
         )
-        ccr.append(report.ccr_percent)
-        oer.append(report.oer_percent)
-        hd.append(report.hd_percent)
+        report = metric_entry.fn(view, outcome, metric_entry.make_params(), ctx)
+        ccr.append(report["ccr"])
+        oer.append(report["oer"])
+        hd.append(report["hd"])
     count = max(len(ccr), 1)
     return {
         "ccr": sum(ccr) / count,
         "oer": sum(oer) / count,
         "hd": sum(hd) / count,
     }
+
+
+def _scheme_cells(config: ExperimentConfig, benchmark: str) -> List[ScenarioSpec]:
+    """The per-benchmark scenario cells, proposed first (it carries the
+    original-layout row), then the prior-art schemes in column order."""
+    common = dict(
+        split_layers=tuple(config.iscas_split_layers),
+        attacks=("network_flow",),
+        metrics=("security",),
+    )
+    cells = [
+        config.scenario(benchmark, layouts=("original", "protected"), **common),
+        config.scenario(benchmark, scheme="placement_perturbation", **common),
+    ]
+    for strategy in RANDOMIZATION_STRATEGIES:
+        cells.append(config.scenario(
+            benchmark, scheme="layout_randomization",
+            scheme_params={"strategy": strategy}, **common,
+        ))
+    return cells
+
+
+def scenarios(config: Optional[ExperimentConfig] = None) -> List[ScenarioSpec]:
+    """The scenario grid behind Table 4."""
+    config = config if config is not None else ExperimentConfig()
+    specs: List[ScenarioSpec] = []
+    for benchmark in config.iscas_benchmarks:
+        specs.extend(_scheme_cells(config, benchmark))
+    return specs
 
 
 def run(config: Optional[ExperimentConfig] = None) -> Table:
@@ -64,33 +110,19 @@ def run(config: Optional[ExperimentConfig] = None) -> Table:
                  "PlacePerturb CCR", "Random CCR", "G-Color CCR", "G-Type1 CCR",
                  "G-Type2 CCR", "Proposed CCR", "Proposed OER", "Proposed HD"],
     )
+    workspace = default_workspace()
     for benchmark in config.iscas_benchmarks:
-        result = protection_artifacts(benchmark, config)
-        netlist = get_benchmark(benchmark, seed=config.seed)
-        splits = config.iscas_split_layers
-        original = attack_layout_average(
-            result.original_layout, splits, config.num_patterns, seed=config.seed
-        )
-        perturbed_layout = placement_perturbation_defense(netlist, seed=config.seed)
-        perturbed = attack_layout_average(
-            perturbed_layout, splits, config.num_patterns, seed=config.seed
-        )
-        randomized: Dict[str, float] = {}
-        for strategy in LayoutRandomizationStrategy:
-            layout = layout_randomization_defense(netlist, strategy, seed=config.seed)
-            randomized[strategy.value] = attack_layout_average(
-                layout, splits, config.num_patterns, seed=config.seed
-            )["ccr"]
-        proposed = attack_layout_average(
-            result.protected_layout, splits, config.num_patterns,
-            restrict_to_protected=True, seed=config.seed,
-        )
+        cells = workspace.run_scenarios(_scheme_cells(config, benchmark))
+        proposed_cell, perturb_cell, *random_cells = cells
+        original = proposed_cell.security_mean(layout="original")
+        proposed = proposed_cell.security_mean(layout="protected")
+        perturbed = perturb_cell.security_mean()
+        randomized = [cell.security_mean()["ccr"] for cell in random_cells]
         table.add_row([
             benchmark,
             round(original["ccr"], 1), round(original["oer"], 1), round(original["hd"], 1),
             round(perturbed["ccr"], 1),
-            round(randomized["random"], 1), round(randomized["g_color"], 1),
-            round(randomized["g_type1"], 1), round(randomized["g_type2"], 1),
+            *[round(ccr, 1) for ccr in randomized],
             round(proposed["ccr"], 1), round(proposed["oer"], 1), round(proposed["hd"], 1),
         ])
     return table

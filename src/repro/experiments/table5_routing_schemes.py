@@ -2,20 +2,42 @@
 
 Same structure as Table 4, but the baselines are the routing-centric
 defenses: block-pin swapping [3], routing perturbation [12] and the
-synergistic scheme of Feng et al. [9].
+synergistic scheme of Feng et al. [9] — one scenario cell per
+(benchmark, scheme), all declared against the defense registry.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
-from repro.circuits.registry import get_benchmark
-from repro.defenses.pin_swapping import pin_swapping_defense
-from repro.defenses.routing_perturbation import routing_perturbation_defense
-from repro.defenses.synergistic import synergistic_defense
-from repro.experiments.common import ExperimentConfig, protection_artifacts
-from repro.experiments.table4_placement_schemes import attack_layout_average
+from repro.api.spec import ScenarioSpec
+from repro.api.workspace import default_workspace
+from repro.experiments.common import ExperimentConfig
 from repro.utils.tables import Table
+
+#: Prior-art schemes in the paper's column order.
+ROUTING_SCHEMES = ("pin_swapping", "routing_perturbation", "synergistic")
+
+
+def _scheme_cells(config: ExperimentConfig, benchmark: str) -> List[ScenarioSpec]:
+    common = dict(
+        split_layers=tuple(config.iscas_split_layers),
+        attacks=("network_flow",),
+        metrics=("security",),
+    )
+    cells = [config.scenario(benchmark, layouts=("original", "protected"), **common)]
+    for scheme in ROUTING_SCHEMES:
+        cells.append(config.scenario(benchmark, scheme=scheme, **common))
+    return cells
+
+
+def scenarios(config: Optional[ExperimentConfig] = None) -> List[ScenarioSpec]:
+    """The scenario grid behind Table 5."""
+    config = config if config is not None else ExperimentConfig()
+    specs: List[ScenarioSpec] = []
+    for benchmark in config.iscas_benchmarks:
+        specs.extend(_scheme_cells(config, benchmark))
+    return specs
 
 
 def run(config: Optional[ExperimentConfig] = None) -> Table:
@@ -30,37 +52,20 @@ def run(config: Optional[ExperimentConfig] = None) -> Table:
                  "Synergistic CCR", "Synergistic HD",
                  "Proposed CCR", "Proposed OER", "Proposed HD"],
     )
+    workspace = default_workspace()
     for benchmark in config.iscas_benchmarks:
-        result = protection_artifacts(benchmark, config)
-        netlist = get_benchmark(benchmark, seed=config.seed)
-        splits = config.iscas_split_layers
-        original = attack_layout_average(
-            result.original_layout, splits, config.num_patterns, seed=config.seed
-        )
-        pin_swap = attack_layout_average(
-            pin_swapping_defense(netlist, seed=config.seed), splits,
-            config.num_patterns, seed=config.seed,
-        )
-        route_perturb = attack_layout_average(
-            routing_perturbation_defense(netlist, seed=config.seed), splits,
-            config.num_patterns, seed=config.seed,
-        )
-        synergistic = attack_layout_average(
-            synergistic_defense(netlist, seed=config.seed), splits,
-            config.num_patterns, seed=config.seed,
-        )
-        proposed = attack_layout_average(
-            result.protected_layout, splits, config.num_patterns,
-            restrict_to_protected=True, seed=config.seed,
-        )
-        table.add_row([
-            benchmark,
-            round(original["ccr"], 1), round(original["hd"], 1),
-            round(pin_swap["ccr"], 1), round(pin_swap["hd"], 1),
-            round(route_perturb["ccr"], 1), round(route_perturb["hd"], 1),
-            round(synergistic["ccr"], 1), round(synergistic["hd"], 1),
+        cells = workspace.run_scenarios(_scheme_cells(config, benchmark))
+        proposed_cell, pin_swap, route_perturb, synergistic = cells
+        original = proposed_cell.security_mean(layout="original")
+        proposed = proposed_cell.security_mean(layout="protected")
+        row = [benchmark, round(original["ccr"], 1), round(original["hd"], 1)]
+        for cell in (pin_swap, route_perturb, synergistic):
+            mean = cell.security_mean()
+            row.extend([round(mean["ccr"], 1), round(mean["hd"], 1)])
+        row.extend([
             round(proposed["ccr"], 1), round(proposed["oer"], 1), round(proposed["hd"], 1),
         ])
+        table.add_row(row)
     return table
 
 

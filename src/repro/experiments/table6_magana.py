@@ -5,17 +5,45 @@ compares the *additional* V67 and V78 vias (over the original layout) of its
 scheme against the routing-blockage numbers reported in [7].  Here both
 defenses are run through the same flow so the two columns are regenerated
 rather than quoted.
+
+Two scenario cells per benchmark: the proposed scheme (``via_delta`` against
+its own original layout) and the ``routing_blockage`` scheme (``via_delta``
+against an identically constructed original baseline).  The blockage cell's
+``floorplan_utilization`` pins the floorplan to the superblue profile
+utilization — the same floorplan the proposed flow sizes its layouts with —
+so both columns compare against bit-identical originals.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
-from repro.circuits.registry import get_benchmark
-from repro.defenses.routing_blockage import routing_blockage_defense
-from repro.experiments.common import ExperimentConfig, protection_artifacts
-from repro.metrics.vias import via_delta_percent
+from repro.api.spec import ScenarioSpec
+from repro.api.workspace import default_workspace
+from repro.circuits.superblue import SUPERBLUE_PROFILES
+from repro.experiments.common import ExperimentConfig
 from repro.utils.tables import Table
+
+
+def _cells(config: ExperimentConfig, benchmark: str) -> List[ScenarioSpec]:
+    profile_utilization = SUPERBLUE_PROFILES[benchmark].utilization_percent / 100.0
+    return [
+        config.scenario(benchmark, metrics=("via_delta",)),
+        config.scenario(
+            benchmark, scheme="routing_blockage",
+            scheme_params={"floorplan_utilization": profile_utilization},
+            metrics=("via_delta",),
+        ),
+    ]
+
+
+def scenarios(config: Optional[ExperimentConfig] = None) -> List[ScenarioSpec]:
+    """The scenario grid behind Table 6."""
+    config = config if config is not None else ExperimentConfig()
+    specs: List[ScenarioSpec] = []
+    for benchmark in config.superblue_benchmarks:
+        specs.extend(_cells(config, benchmark))
+    return specs
 
 
 def run(config: Optional[ExperimentConfig] = None) -> Table:
@@ -27,20 +55,13 @@ def run(config: Optional[ExperimentConfig] = None) -> Table:
         columns=["Benchmark", "Blockage dV67", "Blockage dV78",
                  "Proposed dV67", "Proposed dV78"],
     )
+    workspace = default_workspace()
     sums = [0.0, 0.0, 0.0, 0.0]
     count = 0
     for benchmark in config.superblue_benchmarks:
-        result = protection_artifacts(benchmark, config)
-        original = result.original_layout
-        netlist = original.netlist
-        blockage_layout = routing_blockage_defense(
-            netlist,
-            floorplan=original.floorplan,
-            utilization=original.metadata.get("utilization", 0.70),
-            seed=config.seed,
-        )
-        blockage = via_delta_percent(blockage_layout, original)
-        proposed = via_delta_percent(result.protected_layout, original)
+        proposed_cell, blockage_cell = workspace.run_scenarios(_cells(config, benchmark))
+        blockage = blockage_cell.metric("via_delta")
+        proposed = proposed_cell.metric("via_delta")
         row = [
             round(blockage["V67"], 2), round(blockage["V78"], 2),
             round(proposed["V67"], 2), round(proposed["V78"], 2),
