@@ -1,0 +1,258 @@
+"""Micro-benchmarks for the vectorized place-and-route build path.
+
+Measures the retained seed implementations (``place_reference`` /
+``route_reference``, per-object Python loops) against the vectorized column
+builders that now back ``Workspace.prewarm``, plus the amortized per-seed
+cost of a Monte-Carlo seed sweep versus the sequential single-seed baseline,
+and writes a ``BENCH_build.json`` perf-trajectory artifact next to
+``BENCH_sim.json`` / ``BENCH_layout.json``::
+
+    PYTHONPATH=src python benchmarks/bench_build.py             # writes BENCH_build.json
+    PYTHONPATH=src python benchmarks/bench_build.py --scale 0.02 --seeds 8
+    PYTHONPATH=src python benchmarks/bench_build.py --smoke     # CI-sized run
+
+Every vectorized path is asserted **bit-exact** against its reference before
+timing; the sweep section runs the ``original`` scheme (pure place + route,
+the paths this PR vectorizes) through ``Workspace.run_sweeps`` and compares
+the amortized per-seed wall-clock against building each seed sequentially
+with the reference implementations.
+
+The script is headless (no plotting, no interactive dependencies) and emits
+JSON with sorted keys so CI diffs stay stable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import statistics
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api.spec import ScenarioSpec                      # noqa: E402
+from repro.api.workspace import Workspace                     # noqa: E402
+from repro.circuits import iscas85_netlist                    # noqa: E402
+from repro.circuits.superblue import superblue_netlist        # noqa: E402
+from repro.layout.floorplan import build_floorplan            # noqa: E402
+from repro.layout.placer import (                             # noqa: E402
+    PlacerConfig,
+    place,
+    place_reference,
+)
+from repro.layout.router import route, route_reference        # noqa: E402
+
+
+def _timeit(fn: Callable[[], object], repeat: int) -> float:
+    """Median wall-clock of ``repeat`` runs, GC paused while timing.
+
+    Both build paths allocate hundreds of thousands of small geometry
+    objects per run; leaving the cyclic GC enabled makes collection pauses
+    (triggered at allocation thresholds, attributed to whichever run crosses
+    them) the dominant noise source.  Collecting up front and disabling the
+    GC inside the timed region is the same policy pytest-benchmark applies.
+    """
+    samples: List[float] = []
+    was_enabled = gc.isenabled()
+    for _ in range(repeat):
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+        finally:
+            if was_enabled:
+                gc.enable()
+    return statistics.median(samples)
+
+
+def _assert_equal_placements(a, b) -> None:
+    assert list(a.gate_positions) == list(b.gate_positions), "gate order differs"
+    for name, pos in a.gate_positions.items():
+        other = b.gate_positions[name]
+        assert pos.x == other.x and pos.y == other.y, f"{name} differs"
+    assert a.port_positions == b.port_positions
+
+
+def _assert_equal_routings(a, b) -> None:
+    assert list(a) == list(b), "net order differs"
+    for name in a:
+        assert a[name].driver_vias == b[name].driver_vias, name
+        assert a[name].connections == b[name].connections, name
+
+
+def bench_build_path(benchmark: str, scale: float, seed: int,
+                     refinement_rounds: int, repeat: int) -> Dict[str, object]:
+    """Placer + router reference-vs-vectorized on one netlist."""
+    if benchmark.startswith("superblue"):
+        netlist = superblue_netlist(benchmark, scale=scale, seed=seed)
+    else:
+        netlist = iscas85_netlist(benchmark, seed=seed)
+    placer_config = PlacerConfig(seed=seed, refinement_rounds=refinement_rounds)
+    floorplan = build_floorplan(netlist, 0.70)
+
+    reference_placement = place_reference(netlist, floorplan, config=placer_config)
+    vectorized_placement = place(netlist, floorplan, config=placer_config)
+    _assert_equal_placements(reference_placement, vectorized_placement)
+    place_ref_s = _timeit(
+        lambda: place_reference(netlist, floorplan, config=placer_config), repeat
+    )
+    place_vec_s = _timeit(
+        lambda: place(netlist, floorplan, config=placer_config), repeat
+    )
+
+    reference_routing = route_reference(netlist, vectorized_placement)
+    vectorized_routing = route(netlist, vectorized_placement)
+    _assert_equal_routings(reference_routing, vectorized_routing)
+    route_ref_s = _timeit(lambda: route_reference(netlist, vectorized_placement), repeat)
+    route_vec_s = _timeit(lambda: route(netlist, vectorized_placement), repeat)
+
+    return {
+        "benchmark": benchmark,
+        "scale": scale if benchmark.startswith("superblue") else None,
+        "num_gates": netlist.num_gates,
+        "num_nets": netlist.num_nets,
+        "refinement_rounds": refinement_rounds,
+        "place_reference_s": round(place_ref_s, 4),
+        "place_vectorized_s": round(place_vec_s, 4),
+        "place_speedup": round(place_ref_s / place_vec_s, 2),
+        "route_reference_s": round(route_ref_s, 4),
+        "route_vectorized_s": round(route_vec_s, 4),
+        "route_speedup": round(route_ref_s / route_vec_s, 2),
+        "build_speedup": round(
+            (place_ref_s + route_ref_s) / (place_vec_s + route_vec_s), 2
+        ),
+    }
+
+
+def bench_seed_sweep(benchmark: str, scale: float, num_seeds: int,
+                     jobs: int, repeat: int) -> Dict[str, object]:
+    """Amortized per-seed sweep cost vs the sequential single-seed baseline.
+
+    The baseline builds every seed one after another with the *reference*
+    place/route (the pre-vectorization build path); the sweep runs the same
+    seeds through ``Workspace.run_sweeps`` (vectorized builds batched through
+    the prewarm pool).  Both sides are re-run ``repeat`` times on fresh
+    caches and the medians are compared.
+    """
+    seeds = list(range(num_seeds))
+    scale_arg = scale if benchmark.startswith("superblue") else None
+
+    def sequential_reference() -> None:
+        for seed in seeds:
+            if scale_arg is not None:
+                netlist = superblue_netlist(benchmark, scale=scale_arg, seed=seed)
+            else:
+                netlist = iscas85_netlist(benchmark, seed=seed)
+            floorplan = build_floorplan(netlist, 0.70)
+            placement = place_reference(
+                netlist, floorplan, config=PlacerConfig(seed=seed)
+            )
+            route_reference(netlist, placement)
+
+    spec = ScenarioSpec(
+        benchmark=benchmark, scheme="original", scale=scale_arg, seeds=seeds,
+    )
+
+    def sweep_run() -> None:
+        # A fresh workspace per run: sweeps are memoized per workspace, and
+        # the point is the cold per-seed build cost.
+        sweep = Workspace().run_sweep(spec, jobs=jobs)
+        assert sweep.num_seeds == num_seeds
+
+    sequential_s = _timeit(sequential_reference, repeat)
+    sweep_s = _timeit(sweep_run, repeat)
+
+    return {
+        "benchmark": benchmark,
+        "scale": scale_arg,
+        "num_seeds": num_seeds,
+        "jobs": jobs,
+        "sequential_reference_s_total": round(sequential_s, 4),
+        "sequential_reference_s_per_seed": round(sequential_s / num_seeds, 4),
+        "sweep_s_total": round(sweep_s, 4),
+        "sweep_s_per_seed": round(sweep_s / num_seeds, 4),
+        "amortized_speedup": round(sequential_s / sweep_s, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="superblue12",
+                        help="design for the place/route sections")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="superblue down-scaling factor")
+    parser.add_argument("--seeds", type=int, default=3,
+                        help="seeds in the sweep section")
+    parser.add_argument("--sweep-benchmark", default="superblue18",
+                        help="design for the sweep section")
+    parser.add_argument("--sweep-scale", type=float, default=0.02,
+                        help="superblue scale for the sweep section")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="prewarm worker processes for the sweep section")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs per measurement (median is reported)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small scales, 2 seeds)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_build.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.scale = 0.002
+        args.sweep_scale = 0.001
+        args.seeds = 2
+        args.repeat = 1
+
+    builds = [
+        bench_build_path(args.benchmark, args.scale, seed=1,
+                         refinement_rounds=0, repeat=args.repeat),
+        bench_build_path(args.benchmark, args.scale, seed=1,
+                         refinement_rounds=2, repeat=args.repeat),
+    ]
+    sweep = bench_seed_sweep(
+        args.sweep_benchmark, args.sweep_scale, args.seeds, args.jobs,
+        repeat=args.repeat,
+    )
+
+    payload = {
+        "meta": {
+            "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "notes": (
+                "Reference = retained seed implementations "
+                "(place_reference/route_reference, per-object Python loops); "
+                "vectorized = the columnar builders behind Workspace.prewarm. "
+                "All vectorized paths are asserted bit-exact against the "
+                "references before timing.  The sweep section compares "
+                "Workspace.run_sweeps (vectorized builds, batched prewarm) "
+                "against building each seed sequentially with the reference "
+                "implementations."
+            ),
+        },
+        "build_path": builds,
+        "seed_sweep": sweep,
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench_build] wrote {args.output}")
+    for entry in builds:
+        print(f"  {entry['benchmark']} rounds={entry['refinement_rounds']}: "
+              f"place x{entry['place_speedup']}, route x{entry['route_speedup']}, "
+              f"build x{entry['build_speedup']}")
+    print(f"  sweep {sweep['benchmark']}@{sweep['scale']} x{sweep['num_seeds']} seeds: "
+          f"{sweep['sweep_s_per_seed']}s/seed vs sequential "
+          f"{sweep['sequential_reference_s_per_seed']}s/seed "
+          f"(x{sweep['amortized_speedup']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -254,7 +254,8 @@ def main() -> None:
         "configs": configs,
         "largest_config_speedups": largest["speedups"],
     }
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    # Sorted keys keep the committed artifact (and CI log diffs) stable.
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"[bench_layout] wrote {args.output}")
     for config in configs:
         print(f"  {config['benchmark']}@{config['scale']}: "

@@ -347,7 +347,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="runs per measurement (median is reported)")
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_sim.json"),
                         help="path of the JSON artifact")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (few patterns, one repetition)")
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.patterns = 256
+        args.repeat = 1
 
     sim_results = bench_simulation(args.benchmark, args.patterns, args.repeat)
     attack_results = bench_attack(args.repeat)
@@ -380,7 +385,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         },
     }
     output = Path(args.output)
-    output.write_text(json.dumps(payload, indent=2) + "\n")
+    # Sorted keys keep the committed artifact (and CI log diffs) stable.
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(payload["speedups_vs_seed"], indent=2))
     print(f"wrote {output}")
     return 0

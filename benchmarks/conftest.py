@@ -16,6 +16,32 @@ import pytest
 
 from repro.experiments.common import ExperimentConfig
 
+try:  # pragma: no cover - plugin presence is environment-dependent
+    import pytest_benchmark  # noqa: F401
+    _HAVE_PYTEST_BENCHMARK = True
+except ImportError:
+    _HAVE_PYTEST_BENCHMARK = False
+
+
+if not _HAVE_PYTEST_BENCHMARK:
+    class _BenchmarkShim:
+        """Headless stand-in for the pytest-benchmark fixture.
+
+        Runs the benched callable exactly once without recording timings, so
+        `pytest benchmarks/` stays runnable (and CI-smokeable) when the
+        plugin is not installed.
+        """
+
+        def __call__(self, fn, *args, **kwargs):
+            return fn(*args, **kwargs)
+
+        def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1):
+            return fn(*args, **(kwargs or {}))
+
+    @pytest.fixture()
+    def benchmark():
+        return _BenchmarkShim()
+
 
 @pytest.fixture(scope="session")
 def bench_config() -> ExperimentConfig:

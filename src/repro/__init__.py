@@ -39,6 +39,7 @@ from repro.api import (
     MetricSpec,
     ScenarioResult,
     ScenarioSpec,
+    SweepResult,
     UnknownNameError,
     Workspace,
     default_workspace,
@@ -48,7 +49,7 @@ from repro.circuits.registry import available_benchmarks, get_benchmark
 from repro.core.flow import ProtectionConfig, ProtectionResult, protect
 from repro.experiments.common import ExperimentConfig
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "ATTACKS",
@@ -61,6 +62,7 @@ __all__ = [
     "ProtectionResult",
     "ScenarioResult",
     "ScenarioSpec",
+    "SweepResult",
     "UnknownNameError",
     "Workspace",
     "__version__",

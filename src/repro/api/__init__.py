@@ -51,8 +51,12 @@ from repro.api.schemes import ProposedParams, SchemeBuild  # noqa: E402
 from repro.api.workspace import (  # noqa: E402
     AttackRecord,
     ScenarioResult,
+    SweepAttackRecord,
+    SweepResult,
     Workspace,
+    aggregate_sweep_values,
     default_workspace,
+    flatten_sweep_aggregate,
     reset_default_workspace,
 )
 
@@ -72,10 +76,14 @@ __all__ = [
     "ScenarioResult",
     "ScenarioSpec",
     "SchemeBuild",
+    "SweepAttackRecord",
+    "SweepResult",
     "UnknownBenchmarkError",
     "UnknownNameError",
     "Workspace",
+    "aggregate_sweep_values",
     "build_params",
+    "flatten_sweep_aggregate",
     "default_workspace",
     "ensure_builtins",
     "load_specs",

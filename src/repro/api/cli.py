@@ -10,7 +10,9 @@ Subcommands::
 
 * an experiment name (``table1`` … ``figure6``, ``headline``) or ``all`` —
   regenerates the corresponding paper tables, exactly like the legacy
-  ``python -m repro.experiments.runner`` entry point;
+  ``python -m repro.experiments.runner`` entry point; with ``--seeds 0:8``
+  the experiment's scenario grid runs as a Monte-Carlo sweep instead and the
+  report shows per-seed values plus mean/std/CI per metric;
 * a ``.json`` file containing either one :class:`~repro.api.spec.
   ScenarioSpec` (an object with a ``benchmark`` key), a batch
   (``{"scenarios": [...]}``), or an experiment-grid request
@@ -37,6 +39,51 @@ def _experiment_registry():
     from repro.experiments.runner import EXPERIMENTS
 
     return EXPERIMENTS
+
+
+def parse_seeds(text: str) -> List[int]:
+    """Parse a ``--seeds`` spelling into an explicit seed list.
+
+    ``"0:8"`` → seeds 0‥7 (python range), ``"1,4,9"`` → exactly those,
+    ``"7"`` → a single seed.
+    """
+    text = text.strip()
+    if ":" in text:
+        start_text, _, stop_text = text.partition(":")
+        start = int(start_text) if start_text else 0
+        stop = int(stop_text)
+        if stop <= start:
+            raise ValueError(f"empty seed range {text!r} (need start < stop)")
+        return list(range(start, stop))
+    seeds = [int(part) for part in text.split(",") if part.strip()]
+    if not seeds:
+        raise ValueError(f"no seeds in {text!r}")
+    return seeds
+
+
+def _run_experiment_sweeps(names: List[str], config, seeds: List[int],
+                           jobs: int) -> str:
+    """Run experiment scenario grids as Monte-Carlo seed sweeps."""
+    from repro.experiments.common import run_scenario_sweep, sweep_report_table
+    from repro.experiments.runner import SCENARIO_GRIDS
+    from repro.utils.tables import format_table
+
+    if seeds == list(range(seeds[0], seeds[-1] + 1)):
+        seed_label = f"{seeds[0]}..{seeds[-1]}"
+    else:  # non-contiguous lists are spelled out, not summarized as a range
+        seed_label = ",".join(map(str, seeds))
+    blocks = []
+    for name in names:
+        sweeps = run_scenario_sweep(
+            SCENARIO_GRIDS[name](config), seeds, jobs=jobs
+        )
+        table = sweep_report_table(
+            sweeps,
+            title=f"{name}: Monte-Carlo sweep over {len(seeds)} seeds "
+                  f"({seed_label})",
+        )
+        blocks.append(format_table(table))
+    return "\n\n".join(blocks)
 
 
 def _run_experiments(names: List[str], config, jobs: int) -> str:
@@ -86,6 +133,10 @@ def _run_payload(payload: Any, args: argparse.Namespace) -> str:
         if isinstance(names, str):
             names = [names]
         config = _build_experiment_config(args, payload.get("config"))
+        if args.seeds:
+            return _run_experiment_sweeps(
+                list(names), config, args.seeds, jobs=_resolved_jobs(args)
+            )
         return _run_experiments(list(names), config, jobs=_resolved_jobs(args))
     for flag in ("quick", "superblue_scale"):
         if getattr(args, flag, None):
@@ -95,10 +146,23 @@ def _run_payload(payload: Any, args: argparse.Namespace) -> str:
                 file=sys.stderr,
             )
     specs = load_specs(payload)
+    if args.seeds:
+        specs = [spec.with_seeds(args.seeds) for spec in specs]
     for spec in specs:
         spec.validate()
-    results = default_workspace().run_scenarios(specs, jobs=_resolved_jobs(args))
-    documents = [result.to_dict() for result in results]
+    workspace = default_workspace()
+    if any(spec.seeds is not None for spec in specs):
+        # Monte-Carlo: every spec runs as a sweep (single-seed specs become
+        # one-seed sweeps, so a mixed batch renders uniformly).
+        documents = [
+            sweep.to_dict()
+            for sweep in workspace.run_sweeps(specs, jobs=_resolved_jobs(args))
+        ]
+    else:
+        documents = [
+            result.to_dict()
+            for result in workspace.run_scenarios(specs, jobs=_resolved_jobs(args))
+        ]
     rendered = documents[0] if len(documents) == 1 else documents
     return json.dumps(rendered, indent=2, sort_keys=True)
 
@@ -123,7 +187,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
             return 2
         config = _build_experiment_config(args)
-        output = _run_experiments(names, config, jobs=_resolved_jobs(args))
+        if args.seeds:
+            output = _run_experiment_sweeps(
+                names, config, args.seeds, jobs=_resolved_jobs(args)
+            )
+        else:
+            output = _run_experiments(names, config, jobs=_resolved_jobs(args))
     if args.output:
         Path(args.output).write_text(output + "\n")
         print(f"wrote {args.output}")
@@ -199,6 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="reduced benchmark sets (experiment targets)")
     run_parser.add_argument("--superblue-scale", type=float, default=None,
                             help="override the superblue down-scaling factor")
+    run_parser.add_argument("--seeds", type=parse_seeds, default=None,
+                            help="Monte-Carlo seed sweep: '0:8' (range), "
+                                 "'1,4,9' (list) or '7'; experiment targets "
+                                 "report per-seed values plus mean/std/CI")
     run_parser.add_argument("--jobs", "-j", type=int, default=None,
                             help="worker processes for the artefact prewarm")
     run_parser.add_argument("--output", "-o", default=None,

@@ -30,6 +30,45 @@ LAYOUT_VARIANTS = ("original", "lifted", "protected")
 _LAYOUT_ALIASES = {"proposed": "protected"}
 
 
+def _normalize_seeds(seeds: Any) -> Optional[Tuple[int, ...]]:
+    """Canonicalize a sweep-seed payload to an explicit tuple of ints.
+
+    Accepted spellings: ``None`` (single-seed scenario), an iterable of ints,
+    or a ``{"start": s, "count": n}`` range.  Both spellings of the same seed
+    set normalize — and therefore serialize, hash and expand — identically.
+    """
+    if seeds is None:
+        return None
+    if isinstance(seeds, Mapping):
+        unknown = sorted(set(seeds) - {"start", "count"})
+        if unknown:
+            raise TypeError(
+                f"unknown seeds key(s): {', '.join(unknown)}; "
+                "accepted: start, count"
+            )
+        if "count" not in seeds:
+            raise TypeError("seeds ranges require a 'count' key")
+        start = int(seeds.get("start", 0))
+        count = int(seeds["count"])
+        if count <= 0:
+            raise ValueError(f"seeds count must be positive, got {count}")
+        return tuple(range(start, start + count))
+    if isinstance(seeds, (str, bytes)):
+        raise TypeError(
+            "seeds must be a list of ints or a {start, count} mapping "
+            f"(got the string {seeds!r}; the CLI parses 'a:b' spellings)"
+        )
+    values = tuple(int(seed) for seed in seeds)
+    if not values:
+        raise ValueError("seeds must not be empty (use None for single-seed)")
+    duplicates = sorted({seed for seed in values if values.count(seed) > 1})
+    if duplicates:
+        raise ValueError(
+            f"duplicate seed(s) in sweep: {', '.join(map(str, duplicates))}"
+        )
+    return values
+
+
 def _freeze_params(params: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
     if params is None:
         return {}
@@ -106,6 +145,13 @@ class ScenarioSpec:
             they run per layout, per layout-vs-baseline or per attack run.
         num_patterns: Simulation patterns for OER/HD style metrics.
         seed: Master seed (benchmark generation, placement, randomization).
+        seeds: Optional Monte-Carlo seed sweep: a list of ints or a
+            ``{"start": s, "count": n}`` range (normalized to the explicit
+            list, so both spellings hash identically).  A spec with ``seeds``
+            describes *n* builds; expand it with :meth:`expand_seeds` or run
+            it through :meth:`repro.api.Workspace.run_sweeps`, which batches
+            the per-seed builds through the prewarm process pool and
+            aggregates the results (``seed`` is ignored while sweeping).
     """
 
     benchmark: str
@@ -118,8 +164,10 @@ class ScenarioSpec:
     metrics: Tuple[MetricSpec, ...] = ()
     num_patterns: int = 1024
     seed: int = 0
+    seeds: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "seeds", _normalize_seeds(self.seeds))
         object.__setattr__(self, "scheme_params", _freeze_params(self.scheme_params))
         layouts = tuple(
             _LAYOUT_ALIASES.get(str(layout), str(layout)) for layout in self.layouts
@@ -164,6 +212,7 @@ class ScenarioSpec:
             "metrics": [m.to_dict() for m in self.metrics],
             "num_patterns": self.num_patterns,
             "seed": self.seed,
+            "seeds": list(self.seeds) if self.seeds is not None else None,
         }
 
     @classmethod
@@ -214,6 +263,7 @@ class ScenarioSpec:
             ],
             "num_patterns": self.num_patterns,
             "seed": self.seed,
+            "seeds": list(self.seeds) if self.seeds is not None else None,
         }
 
     def canonical_json(self) -> str:
@@ -227,6 +277,25 @@ class ScenarioSpec:
     def short_hash(self) -> str:
         return self.content_hash()[:12]
 
+    # -- seed sweeps -------------------------------------------------------
+
+    def with_seeds(self, seeds: Any) -> "ScenarioSpec":
+        """This spec as a Monte-Carlo sweep over ``seeds`` (normalized)."""
+        return dataclasses.replace(self, seeds=_normalize_seeds(seeds))
+
+    def expand_seeds(self) -> List["ScenarioSpec"]:
+        """The concrete single-seed specs this spec describes.
+
+        A plain spec expands to ``[self]``; a sweep spec expands to one spec
+        per seed (``seed`` replaced, ``seeds`` cleared), in sweep order.
+        """
+        if self.seeds is None:
+            return [self]
+        return [
+            dataclasses.replace(self, seed=seed, seeds=None)
+            for seed in self.seeds
+        ]
+
     def build_dict(self) -> Dict[str, Any]:
         """The build-relevant subset: everything that shapes the artefacts.
 
@@ -236,6 +305,12 @@ class ScenarioSpec:
         key (the historical module-global cache keyed only on
         ``(benchmark, scale, seed)`` and silently served stale artefacts).
         """
+        if self.seeds is not None:
+            raise ValueError(
+                "a seed-sweep spec describes multiple builds and has no "
+                "single build key; expand it with expand_seeds() (or run it "
+                "through Workspace.run_sweeps)"
+            )
         canonical = self.canonical_dict()
         return {
             "benchmark": canonical["benchmark"],

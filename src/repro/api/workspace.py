@@ -120,6 +120,156 @@ class ScenarioResult:
         return {key: value / count for key, value in totals.items()}
 
 
+def aggregate_sweep_values(values: List[Any]) -> Any:
+    """Aggregate one metric leaf across sweep seeds.
+
+    Numeric leaves become ``{"mean", "std", "ci95", "min", "max", "n",
+    "per_seed"}`` (sample std, normal-approximation 95 % confidence
+    half-width); mappings aggregate recursively per key; anything
+    non-numeric (or mappings with mismatched keys) is kept verbatim as
+    ``{"per_seed": [...]}``.
+    """
+    if values and all(
+        isinstance(v, (int, float)) and not isinstance(v, bool) for v in values
+    ):
+        floats = [float(v) for v in values]
+        n = len(floats)
+        mean = sum(floats) / n
+        if n > 1:
+            variance = sum((v - mean) ** 2 for v in floats) / (n - 1)
+            std = variance ** 0.5
+        else:
+            std = 0.0
+        return {
+            "mean": mean,
+            "std": std,
+            "ci95": 1.96 * std / (n ** 0.5),
+            "min": min(floats),
+            "max": max(floats),
+            "n": n,
+            "per_seed": values,
+        }
+    if (
+        values
+        and all(isinstance(v, Mapping) for v in values)
+        and all(set(v) == set(values[0]) for v in values[1:])
+    ):
+        return {
+            key: aggregate_sweep_values([v[key] for v in values])
+            for key in values[0]
+        }
+    return {"per_seed": values}
+
+
+def flatten_sweep_aggregate(aggregate: Any, prefix: str = ""):
+    """Yield ``(label, stat_dict)`` leaves of a nested sweep aggregate."""
+    if isinstance(aggregate, Mapping) and "per_seed" in aggregate:
+        yield prefix, aggregate
+        return
+    if isinstance(aggregate, Mapping):
+        for key, value in aggregate.items():
+            label = f"{prefix}.{key}" if prefix else str(key)
+            yield from flatten_sweep_aggregate(value, label)
+
+
+@dataclass
+class SweepAttackRecord:
+    """Aggregated attack metrics for one (attack, layout, split layer) cell."""
+
+    attack: str
+    layout: str
+    split_layer: int
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attack": self.attack,
+            "layout": self.layout,
+            "split_layer": self.split_layer,
+            "metrics": self.metrics,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Aggregated outcome of one scenario swept across seeds.
+
+    ``results`` holds the underlying per-seed :class:`ScenarioResult` records
+    (aligned with ``seeds``); ``layout_metrics`` / ``attack_records`` mirror
+    their scalar counterparts with every numeric leaf replaced by a
+    mean/std/CI aggregate (see :func:`aggregate_sweep_values`).
+    """
+
+    spec: ScenarioSpec
+    spec_hash: str
+    benchmark: str
+    scheme: str
+    seeds: Tuple[int, ...]
+    results: List[ScenarioResult] = field(default_factory=list)
+    layout_metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    attack_records: List[SweepAttackRecord] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def num_seeds(self) -> int:
+        return len(self.seeds)
+
+    def metric(self, name: str, layout: str = "protected") -> Any:
+        """The aggregate of a layout/compare metric for one layout variant."""
+        return self.layout_metrics[name][layout]
+
+    def per_seed(self, name: str, layout: str = "protected") -> List[Any]:
+        """The raw per-seed values of a layout/compare metric."""
+        return [result.layout_metrics[name][layout] for result in self.results]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec_hash,
+            "benchmark": self.benchmark,
+            "scheme": self.scheme,
+            "seeds": list(self.seeds),
+            "layout_metrics": self.layout_metrics,
+            "attack_records": [record.to_dict() for record in self.attack_records],
+            "results": [result.to_dict() for result in self.results],
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def _build_sweep_result(spec: ScenarioSpec, seeds: Tuple[int, ...],
+                        results: List[ScenarioResult],
+                        elapsed_s: float) -> SweepResult:
+    """Aggregate aligned per-seed scenario results into a :class:`SweepResult`."""
+    sweep = SweepResult(
+        spec=spec, spec_hash=spec.content_hash(),
+        benchmark=spec.benchmark, scheme=spec.scheme,
+        seeds=seeds, results=results, elapsed_s=elapsed_s,
+    )
+    for name in results[0].layout_metrics:
+        sweep.layout_metrics[name] = {
+            layout: aggregate_sweep_values(
+                [result.layout_metrics[name][layout] for result in results]
+            )
+            for layout in results[0].layout_metrics[name]
+        }
+    # Per-seed runs of the same spec produce attack records in identical
+    # (attack, layout, split_layer) order — aggregate them index-aligned.
+    for records in zip(*[result.attack_records for result in results]):
+        first = records[0]
+        keys = {(r.attack, r.layout, r.split_layer) for r in records}
+        if len(keys) != 1:  # pragma: no cover - defensive; order is deterministic
+            raise RuntimeError(f"misaligned attack records across seeds: {keys}")
+        sweep.attack_records.append(SweepAttackRecord(
+            attack=first.attack, layout=first.layout,
+            split_layer=first.split_layer,
+            metrics={
+                name: aggregate_sweep_values([r.metrics[name] for r in records])
+                for name in first.metrics
+            },
+        ))
+    return sweep
+
+
 def _build_scheme(payload: Mapping[str, Any]):
     """Build one scheme from a plain payload (module-level: pickles for pools)."""
     ensure_builtins()
@@ -279,7 +429,9 @@ class Workspace:
         ensure_builtins()
         distinct: Dict[str, ScenarioSpec] = {}
         for spec in specs:
-            distinct.setdefault(spec.build_key(), spec)
+            # Seed-sweep specs prewarm one build per seed.
+            for expanded in spec.expand_seeds():
+                distinct.setdefault(expanded.build_key(), expanded)
         with self._lock:
             missing = {
                 key: spec for key, spec in distinct.items() if key not in self._builds
@@ -334,6 +486,11 @@ class Workspace:
     def run_scenario(self, spec: ScenarioSpec) -> ScenarioResult:
         """Execute one scenario (memoized by its content hash)."""
         ensure_builtins()
+        if spec.seeds is not None:
+            raise ValueError(
+                "spec declares a seed sweep; use run_sweep()/run_sweeps() "
+                "(or expand_seeds() for the per-seed specs)"
+            )
         spec_hash = spec.content_hash()
         with self._lock:
             if spec_hash in self._scenarios:
@@ -358,6 +515,39 @@ class Workspace:
         if jobs > 1:
             self.prewarm(specs, jobs=jobs)
         return [self.run_scenario(spec) for spec in specs]
+
+    # -- seed sweeps ---------------------------------------------------------
+
+    def run_sweep(self, spec: ScenarioSpec, jobs: Optional[int] = None) -> SweepResult:
+        """Run one scenario across its seed sweep and aggregate the results."""
+        return self.run_sweeps([spec], jobs=jobs)[0]
+
+    def run_sweeps(self, specs: Sequence[ScenarioSpec],
+                   jobs: Optional[int] = None) -> List[SweepResult]:
+        """Monte-Carlo batch API: one :class:`SweepResult` per input spec.
+
+        Every spec is expanded into its per-seed scenarios (a spec without
+        ``seeds`` counts as a one-seed sweep over its ``seed``), the distinct
+        builds of *all* sweeps are prewarmed through the shared process pool
+        in one batch, and the per-seed results are aggregated into
+        mean/std/CI records per metric leaf.
+        """
+        specs = list(specs)
+        expanded = [spec.expand_seeds() for spec in specs]
+        jobs = jobs if jobs is not None else (self.default_jobs or 1)
+        if jobs > 1:
+            self.prewarm(
+                [single for group in expanded for single in group], jobs=jobs
+            )
+        sweeps: List[SweepResult] = []
+        for spec, group in zip(specs, expanded):
+            start = time.time()
+            results = [self.run_scenario(single) for single in group]
+            seeds = tuple(single.seed for single in group)
+            sweeps.append(
+                _build_sweep_result(spec, seeds, results, time.time() - start)
+            )
+        return sweeps
 
     def _baseline_layout(self, spec: ScenarioSpec, build) -> Any:
         """The original-layout baseline compare-scope metrics run against."""

@@ -36,7 +36,13 @@ from repro.layout.floorplan import Floorplan, build_floorplan
 from repro.layout.geometry import Point, manhattan
 from repro.layout.layout import Layout
 from repro.layout.placer import PlacementResult, PlacerConfig, place
-from repro.layout.router import RoutedNet, RouterConfig, route_connection, _via_stack
+from repro.layout.router import (
+    ConnectionRequest,
+    RoutedNet,
+    RouterConfig,
+    _via_stack,
+    route_connections_batch,
+)
 from repro.netlist.netlist import Netlist, PinRef
 
 
@@ -106,6 +112,13 @@ def build_protected_layout(
     correction_anchors: List[Tuple[int, str, Optional[str], Point]] = []
     connection_id = 0
 
+    # Pass 1: per-connection policy (lift floors, misleading FEOL hints,
+    # correction anchors) gathered as plain connection requests; the actual
+    # segment/via geometry is array-built in one batch below.
+    requests: List[ConnectionRequest] = []
+    protected_flags: List[bool] = []
+    net_entries: List[Tuple[str, Point, int, int, int]] = []  # (net, source, start, stop, max_h)
+
     for net_name, net in original.nets.items():
         source = _terminal_position(original, placement, net_name)
         if source is None:
@@ -123,12 +136,14 @@ def build_protected_layout(
         if not targets:
             continue
 
-        routed_net = RoutedNet(name=net_name, driver_point=source)
         max_h_layer = router_config.pin_layer
         driver_gate = net.driver[0] if net.driver is not None else None
+        start = len(requests)
 
         for sink, target, is_swapped in targets:
             length = manhattan(source, target)
+            source_hint: Optional[Point] = None
+            target_hint: Optional[Point] = None
             if is_swapped:
                 record = swapped[sink]
                 pair = router_config.pair_for_lifted(length, half_perimeter, lift_layer)
@@ -136,20 +151,12 @@ def build_protected_layout(
                 # erroneous sink that replaced this one; the sink stub was
                 # routed towards its erroneous driver.
                 erroneous_sinks = moved_onto.get(net_name, [])
-                source_hint = None
                 for err_sink in erroneous_sinks:
                     hint_pos = _sink_position(placement, err_sink)
                     if hint_pos is not None:
                         source_hint = hint_pos
                         break
                 target_hint = _terminal_position(erroneous, placement, record.erroneous_net)
-                connection = route_connection(
-                    net_name, sink, source, target, pair, router_config,
-                    half_perimeter,
-                    source_hint=source_hint if source_hint is not None else target,
-                    target_hint=target_hint if target_hint is not None else source,
-                )
-                connection.protected = True
                 correction_anchors.append((connection_id, "driver", driver_gate, source))
                 sink_gate = sink[0] if sink[0] != "PO" else None
                 correction_anchors.append((connection_id, "sink", sink_gate, target))
@@ -158,17 +165,26 @@ def build_protected_layout(
                 # The paper lifts the whole randomized net: its honest sinks
                 # also route through the correction-cell layer (true hints).
                 pair = router_config.pair_for_lifted(length, half_perimeter, lift_layer)
-                connection = route_connection(
-                    net_name, sink, source, target, pair, router_config, half_perimeter
-                )
             else:
                 pair = router_config.pair_for_length(length, half_perimeter)
-                connection = route_connection(
-                    net_name, sink, source, target, pair, router_config, half_perimeter
-                )
-            routed_net.connections.append(connection)
+            requests.append((net_name, sink, source, target, pair,
+                             source_hint, target_hint))
+            protected_flags.append(is_swapped)
             max_h_layer = max(max_h_layer, pair[0])
 
+        net_entries.append((net_name, source, start, len(requests), max_h_layer))
+
+    # Pass 2: batched geometry construction (bit-exact with the historical
+    # per-connection route_connection loop).
+    connections = route_connections_batch(requests, router_config, half_perimeter)
+    for connection, is_protected in zip(connections, protected_flags):
+        if is_protected:
+            connection.protected = True
+    for net_name, source, start, stop, max_h_layer in net_entries:
+        routed_net = RoutedNet(
+            name=net_name, driver_point=source,
+            connections=connections[start:stop],
+        )
         routed_net.driver_vias = _via_stack(
             source.x, source.y, router_config.pin_layer, max_h_layer
         )

@@ -168,6 +168,93 @@ def _proposed_spec(benchmark: str, config: ExperimentConfig) -> ScenarioSpec:
     return config.scenario(benchmark)
 
 
+# ---------------------------------------------------------------------------
+# Monte-Carlo seed sweeps
+# ---------------------------------------------------------------------------
+
+
+def make_experiment_sweep(scenarios_fn):
+    """The standard ``sweep(seeds, config, jobs)`` entry of an experiment module.
+
+    Every experiment module exposes ``sweep = make_experiment_sweep(scenarios)``
+    — a Monte-Carlo sweep of its scenario grid returning one aggregated
+    :class:`~repro.api.SweepResult` (per-seed values plus mean/std/CI per
+    metric leaf) per scenario; render with :func:`sweep_report_table`.
+    """
+    def sweep(seeds: Any, config: Optional[ExperimentConfig] = None,
+              jobs: Optional[int] = None) -> List["SweepResult"]:
+        return run_scenario_sweep(scenarios_fn(config), seeds, jobs=jobs)
+
+    sweep.__doc__ = (
+        "Monte-Carlo sweep of this experiment's scenario grid across "
+        "``seeds``.\n\n    See "
+        ":func:`repro.experiments.common.make_experiment_sweep`."
+    )
+    return sweep
+
+
+def run_scenario_sweep(specs: Iterable[ScenarioSpec], seeds: Any,
+                       jobs: Optional[int] = None) -> List["SweepResult"]:
+    """Run a scenario grid as a Monte-Carlo sweep over ``seeds``.
+
+    Every spec is re-declared with the given seed set (a list of ints or a
+    ``{"start", "count"}`` range) and executed through
+    :meth:`repro.api.Workspace.run_sweeps`, which batches the per-seed builds
+    through the prewarm process pool.  Returns one aggregated
+    :class:`~repro.api.SweepResult` per input spec.
+    """
+    swept = [spec.with_seeds(seeds) for spec in specs]
+    return default_workspace().run_sweeps(swept, jobs=jobs)
+
+
+def sweep_report_table(sweeps: List["SweepResult"], title: str) -> "Table":
+    """Render sweep aggregates as a plain-text table (per-seed + mean/std/CI).
+
+    One row per metric leaf: layout/compare metrics are labelled
+    ``metric[layout].leaf``, attack-scope metrics
+    ``metric[layout@M<split>:attack].leaf``.
+    """
+    from repro.api.workspace import flatten_sweep_aggregate
+    from repro.utils.tables import Table
+
+    table = Table(
+        title=title,
+        columns=["Benchmark", "Scheme", "Seeds", "Quantity",
+                 "Mean", "Std", "CI95", "Per-seed"],
+    )
+
+    def add_rows(sweep, label_prefix: str, aggregate: Any) -> None:
+        for leaf, stat in flatten_sweep_aggregate(aggregate, label_prefix):
+            per_seed = stat.get("per_seed", [])
+            if "mean" not in stat:  # non-numeric leaf: report values only
+                table.add_row([
+                    sweep.benchmark, sweep.scheme, len(sweep.seeds), leaf,
+                    None, None, None,
+                    " ".join(str(v) for v in per_seed),
+                ])
+                continue
+            table.add_row([
+                sweep.benchmark, sweep.scheme, len(sweep.seeds), leaf,
+                round(stat["mean"], 4), round(stat["std"], 4),
+                round(stat["ci95"], 4),
+                " ".join(format(float(v), ".4g") for v in per_seed),
+            ])
+
+    for sweep in sweeps:
+        for metric_name, per_layout in sweep.layout_metrics.items():
+            for layout, aggregate in per_layout.items():
+                add_rows(sweep, f"{metric_name}[{layout}]", aggregate)
+        for record in sweep.attack_records:
+            for metric_name, aggregate in record.metrics.items():
+                add_rows(
+                    sweep,
+                    f"{metric_name}[{record.layout}@M{record.split_layer}"
+                    f":{record.attack}]",
+                    aggregate,
+                )
+    return table
+
+
 def protection_artifacts(benchmark: str, config: Optional[ExperimentConfig] = None,
                          use_cache: bool = True) -> ProtectionResult:
     """Return (and cache) the protection-flow artefacts for ``benchmark``.

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.api.spec import ScenarioSpec
 from repro.api.workspace import default_workspace
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ExperimentConfig, make_experiment_sweep
 from repro.metrics.distances import distance_histogram
 from repro.utils.tables import Table
 
@@ -86,6 +86,10 @@ def histograms(config: Optional[ExperimentConfig] = None,
         for variant, label in (("original", "original"), ("lifted", "lifted"),
                                ("protected", "proposed"))
     }
+
+
+#: Monte-Carlo sweep of this experiment's grid: ``sweep(seeds, config, jobs)``.
+sweep = make_experiment_sweep(scenarios)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

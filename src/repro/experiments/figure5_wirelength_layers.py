@@ -18,7 +18,7 @@ from typing import List, Optional
 
 from repro.api.spec import ScenarioSpec
 from repro.api.workspace import default_workspace
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ExperimentConfig, make_experiment_sweep
 from repro.experiments.table1_distances import LAYOUT_LABELS
 from repro.netlist.cells import NUM_METAL_LAYERS
 from repro.utils.tables import Table
@@ -59,6 +59,10 @@ def run(config: Optional[ExperimentConfig] = None) -> Table:
                 round(value["above_split"], 1),
             ])
     return table
+
+
+#: Monte-Carlo sweep of this experiment's grid: ``sweep(seeds, config, jobs)``.
+sweep = make_experiment_sweep(scenarios)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -16,7 +16,7 @@ from typing import List, Optional
 
 from repro.api.spec import ScenarioSpec
 from repro.api.workspace import default_workspace
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ExperimentConfig, make_experiment_sweep
 from repro.utils.tables import Table
 
 
@@ -67,6 +67,10 @@ def run(config: Optional[ExperimentConfig] = None) -> Table:
     if count:
         table.add_row(["Average", *[round(s / count, 2) for s in sums]])
     return table
+
+
+#: Monte-Carlo sweep of this experiment's grid: ``sweep(seeds, config, jobs)``.
+sweep = make_experiment_sweep(scenarios)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

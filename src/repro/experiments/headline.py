@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.api.spec import ScenarioSpec
 from repro.api.workspace import default_workspace
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ExperimentConfig, make_experiment_sweep
 from repro.experiments.paper_data import PAPER_HEADLINE, PAPER_PRIOR_ART_AVERAGE_CCR
 from repro.utils.tables import Table
 
@@ -69,6 +69,10 @@ def run(config: Optional[ExperimentConfig] = None) -> Table:
         PAPER_HEADLINE["ccr"], PAPER_HEADLINE["oer"], PAPER_HEADLINE["hd"],
     ])
     return table
+
+
+#: Monte-Carlo sweep of this experiment's grid: ``sweep(seeds, config, jobs)``.
+sweep = make_experiment_sweep(scenarios)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

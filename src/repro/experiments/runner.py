@@ -54,6 +54,21 @@ EXPERIMENTS: Dict[str, Callable[[Optional[ExperimentConfig]], Table]] = {
     "headline": headline.run,
 }
 
+#: Experiment id → scenarios(config) callable: the declarative grid behind
+#: each experiment, consumed by seed sweeps (``repro run <exp> --seeds``).
+SCENARIO_GRIDS: Dict[str, Callable] = {
+    "table1": table1_distances.scenarios,
+    "table2": table2_vias.scenarios,
+    "table3": table3_crouting.scenarios,
+    "table4": table4_placement_schemes.scenarios,
+    "table5": table5_routing_schemes.scenarios,
+    "table6": table6_magana.scenarios,
+    "figure4": figure4_distance_distributions.scenarios,
+    "figure5": figure5_wirelength_layers.scenarios,
+    "figure6": figure6_ppa.scenarios,
+    "headline": headline.scenarios,
+}
+
 #: Benchmarks each experiment draws artefacts for: a config suite name
 #: ("iscas" / "superblue") or an explicit tuple for single-benchmark figures
 #: (prewarming a whole suite for those would waste the most expensive step).

@@ -17,7 +17,7 @@ from typing import List, Optional
 
 from repro.api.spec import ScenarioSpec
 from repro.api.workspace import default_workspace
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ExperimentConfig, make_experiment_sweep
 from repro.utils.tables import Table
 
 #: Layout-variant order and labels of the paper's table rows.
@@ -53,6 +53,10 @@ def run(config: Optional[ExperimentConfig] = None) -> Table:
                 round(stats["std_dev"], 2),
             ])
     return table
+
+
+#: Monte-Carlo sweep of this experiment's grid: ``sweep(seeds, config, jobs)``.
+sweep = make_experiment_sweep(scenarios)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -16,7 +16,7 @@ from typing import List, Optional
 
 from repro.api.spec import ScenarioSpec
 from repro.api.workspace import default_workspace
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ExperimentConfig, make_experiment_sweep
 from repro.metrics.vias import VIA_NAMES
 from repro.utils.tables import Table
 
@@ -79,6 +79,10 @@ def v56_increase_over_lifted(config: Optional[ExperimentConfig] = None) -> float
         if lifted > 0:
             increases.append(100.0 * (protected - lifted) / lifted)
     return sum(increases) / len(increases) if increases else 0.0
+
+
+#: Monte-Carlo sweep of this experiment's grid: ``sweep(seeds, config, jobs)``.
+sweep = make_experiment_sweep(scenarios)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

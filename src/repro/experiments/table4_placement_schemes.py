@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.api.registry import ATTACKS, METRICS
 from repro.api.spec import ScenarioSpec
 from repro.api.workspace import default_workspace
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ExperimentConfig, make_experiment_sweep
 from repro.layout.layout import Layout
 from repro.sm.split import extract_feol
 from repro.utils.tables import Table
@@ -126,6 +126,10 @@ def run(config: Optional[ExperimentConfig] = None) -> Table:
             round(proposed["ccr"], 1), round(proposed["oer"], 1), round(proposed["hd"], 1),
         ])
     return table
+
+
+#: Monte-Carlo sweep of this experiment's grid: ``sweep(seeds, config, jobs)``.
+sweep = make_experiment_sweep(scenarios)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -21,6 +21,23 @@ up physically close to each other*.  The recipe:
    positions row by row, preserving their relative order.
 
 The result is deterministic for a given netlist and seed.
+
+Two implementations share this recipe:
+
+* :func:`place` — the default, operating on coordinate *columns*: the
+  serpentine fold, the centroid iterations, the rank-based spreading and the
+  row packing are all batched NumPy passes (the only per-object Python loops
+  left are the DFS ordering and the final ``gate_positions`` dict build).
+* :func:`place_reference` — the retained seed implementation with per-gate /
+  per-net Python loops.
+
+The vectorized path is **bit-exact** with the reference at equal seed: every
+floating-point expression is evaluated with the same operations in the same
+order (the legalization cursor chain, for example, is an interleaved
+``cumsum`` that reproduces the sequential ``((pos + width) + gap)``
+grouping), and the sort-based steps use stable sorts with the reference's
+tie-breaking.  ``tests/test_build_vectorized.py`` asserts equality on all
+ISCAS-85 circuits.
 """
 
 from __future__ import annotations
@@ -175,10 +192,161 @@ def _dfs_ordering(netlist: Netlist, max_fanout: int, seed: int) -> List[str]:
 # ---------------------------------------------------------------------------
 
 
+def _io_assignment(netlist: Netlist, floorplan: Floorplan):
+    """Step 1 (shared): pin the primary I/O evenly on the die boundary."""
+    port_names = list(netlist.primary_inputs) + [f"PO::{po}" for po in netlist.primary_outputs]
+    boundary = floorplan.boundary_positions(len(port_names))
+    port_positions = {name: pos for name, pos in zip(port_names, boundary)}
+    visible_ports = {
+        (name if not name.startswith("PO::") else name[4:]): pos
+        for name, pos in port_positions.items()
+    }
+    return port_positions, visible_ports
+
+
+def _initial_ordering(netlist: Netlist, gate_names: List[str],
+                      config: PlacerConfig) -> List[str]:
+    """Step 2 (shared): the connectivity-driven gate ordering."""
+    if config.ordering == "dfs":
+        return _dfs_ordering(netlist, config.max_fanout_for_attraction, config.seed)
+    if config.ordering == "insertion":
+        return gate_names
+    raise ValueError(f"unknown placer ordering {config.ordering!r}")
+
+
+def _attraction_nets(netlist: Netlist, gate_index: Dict[str, int],
+                     port_positions: Dict[str, Point],
+                     max_fanout: int) -> Tuple[List[np.ndarray], List[Tuple[float, float, int]]]:
+    """Nets participating in centroid attraction: member indices + fixed pull.
+
+    Mirrors the reference construction exactly (same net gating, same member
+    order, same Python ``sum`` over port coordinates).
+    """
+    net_members: List[np.ndarray] = []
+    net_fixed: List[Tuple[float, float, int]] = []
+    for net in netlist.nets.values():
+        gates: List[str] = []
+        ports: List[str] = []
+        if net.driver is not None:
+            gates.append(net.driver[0])
+        elif net.is_primary_input:
+            ports.append(net.name)
+        gates.extend(sink for sink, _pin in net.sinks)
+        ports.extend(f"PO::{po}" for po in net.primary_outputs)
+        if len(gates) + len(ports) < 2:
+            continue
+        if len(gates) + len(ports) > max_fanout:
+            continue
+        idx = np.array([gate_index[g] for g in gates], dtype=np.int64)
+        fx = sum(port_positions[p].x for p in ports if p in port_positions)
+        fy = sum(port_positions[p].y for p in ports if p in port_positions)
+        fc = sum(1 for p in ports if p in port_positions)
+        net_members.append(idx)
+        net_fixed.append((fx, fy, fc))
+    return net_members, net_fixed
+
+
+class _CentroidColumns:
+    """Batched centroid-iteration state built from the attraction nets.
+
+    Per-net member sums are evaluated by grouping nets of equal pin count
+    into ``(num_nets, k)`` index matrices and reducing along the last axis —
+    NumPy applies the same pairwise summation to each contiguous row as the
+    reference's per-net ``x[idx].sum()``, so the sums are bit-identical.
+    The scatter back onto cells runs through ``np.bincount``, whose
+    sequential input-order accumulation reproduces the reference's net-major
+    ``acc[idx] += c`` loop (duplicate members deduplicated per net, exactly
+    like NumPy's buffered fancy assignment).
+    """
+
+    def __init__(self, net_members: List[np.ndarray],
+                 net_fixed: List[Tuple[float, float, int]], num_cells: int):
+        self.num_cells = num_cells
+        num_nets = len(net_members)
+        self.fixed_x = np.asarray([f[0] for f in net_fixed], dtype=np.float64)
+        self.fixed_y = np.asarray([f[1] for f in net_fixed], dtype=np.float64)
+        denom = np.asarray(
+            [len(idx) + fixed[2] for idx, fixed in zip(net_members, net_fixed)],
+            dtype=np.int64,
+        )
+        self.denom = denom
+        # Group nets by member count -> one (m, k) gather matrix per size.
+        by_size: Dict[int, List[int]] = {}
+        for net_id, idx in enumerate(net_members):
+            by_size.setdefault(len(idx), []).append(net_id)
+        self.size_groups: List[Tuple[np.ndarray, np.ndarray]] = []
+        for size, net_ids in by_size.items():
+            ids = np.asarray(net_ids, dtype=np.int64)
+            matrix = np.stack([net_members[i] for i in net_ids]) if size else ids[:, None][:, :0]
+            self.size_groups.append((ids, matrix))
+        # Net-major flat scatter arrays (duplicates within a net collapse to
+        # one contribution, matching buffered fancy assignment).
+        scatter_cell: List[np.ndarray] = []
+        scatter_net: List[np.ndarray] = []
+        counts = np.zeros(num_cells, dtype=np.float64)
+        for net_id, idx in enumerate(net_members):
+            unique = np.unique(idx)
+            scatter_cell.append(unique)
+            scatter_net.append(np.full(len(unique), net_id, dtype=np.int64))
+            counts[unique] += 1.0
+        self.scatter_cell = (
+            np.concatenate(scatter_cell) if scatter_cell
+            else np.empty(0, dtype=np.int64)
+        )
+        self.scatter_net = (
+            np.concatenate(scatter_net) if scatter_net
+            else np.empty(0, dtype=np.int64)
+        )
+        counts[counts == 0] = 1.0
+        self.cell_net_count = counts
+        self.num_nets = num_nets
+
+    def net_centroids(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        sums_x = np.empty(self.num_nets, dtype=np.float64)
+        sums_y = np.empty(self.num_nets, dtype=np.float64)
+        for ids, matrix in self.size_groups:
+            sums_x[ids] = x[matrix].sum(axis=1)
+            sums_y[ids] = y[matrix].sum(axis=1)
+        return (sums_x + self.fixed_x) / self.denom, (sums_y + self.fixed_y) / self.denom
+
+    def step(self, x: np.ndarray, y: np.ndarray,
+             damping: float) -> Tuple[np.ndarray, np.ndarray]:
+        cx, cy = self.net_centroids(x, y)
+        acc_x = np.bincount(
+            self.scatter_cell, weights=cx[self.scatter_net], minlength=self.num_cells
+        )
+        acc_y = np.bincount(
+            self.scatter_cell, weights=cy[self.scatter_net], minlength=self.num_cells
+        )
+        new_x = acc_x / self.cell_net_count
+        new_y = acc_y / self.cell_net_count
+        return (damping * x + (1 - damping) * new_x,
+                damping * y + (1 - damping) * new_y)
+
+
+def _row_partition(x: np.ndarray, row_of: np.ndarray,
+                   num_rows: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort cells by (row, x, index) and return (order, sorted_rows, starts).
+
+    ``np.lexsort`` is stable, so full ties keep ascending cell index — the
+    same ordering the reference gets from ``np.where`` (ascending members)
+    followed by a stable per-row ``argsort`` on x.
+    """
+    order = np.lexsort((x, row_of))
+    sorted_rows = row_of[order]
+    counts = np.bincount(sorted_rows, minlength=num_rows)
+    starts = np.concatenate(([0], np.cumsum(counts)))
+    return order, sorted_rows, starts
+
+
 def place(netlist: Netlist, floorplan: Optional[Floorplan] = None,
           utilization: float = 0.70,
           config: Optional[PlacerConfig] = None) -> PlacementResult:
     """Place ``netlist`` and return legal cell positions.
+
+    This is the vectorized build path: refinement, spreading and row packing
+    run on coordinate columns.  Bit-exact with :func:`place_reference` at
+    equal seed (see the module docstring for the equivalence argument).
 
     Args:
         netlist: Design to place.
@@ -201,23 +369,126 @@ def place(netlist: Netlist, floorplan: Optional[Floorplan] = None,
     n = len(gate_names)
 
     # --- 1. I/O assignment -------------------------------------------------
-    port_names = list(netlist.primary_inputs) + [f"PO::{po}" for po in netlist.primary_outputs]
-    boundary = floorplan.boundary_positions(len(port_names))
-    port_positions = {name: pos for name, pos in zip(port_names, boundary)}
-    visible_ports = {
-        (name if not name.startswith("PO::") else name[4:]): pos
-        for name, pos in port_positions.items()
-    }
+    port_positions, visible_ports = _io_assignment(netlist, floorplan)
     if n == 0:
         return PlacementResult(floorplan, {}, visible_ports, config)
 
     # --- 2. Connectivity-driven initial ordering on a serpentine curve -----
-    if config.ordering == "dfs":
-        ordering = _dfs_ordering(netlist, config.max_fanout_for_attraction, config.seed)
-    elif config.ordering == "insertion":
-        ordering = gate_names
-    else:
-        raise ValueError(f"unknown placer ordering {config.ordering!r}")
+    ordering = _initial_ordering(netlist, gate_names, config)
+    gate_index = {name: i for i, name in enumerate(gate_names)}
+
+    num_rows = floorplan.num_rows
+    cells_per_row = int(np.ceil(n / num_rows))
+    row_pitch = floorplan.row_height_um
+    die = floorplan.die
+
+    # One batched pass over the rank columns replaces the per-gate fold loop.
+    rank_gate = np.fromiter(
+        (gate_index[name] for name in ordering), dtype=np.int64, count=n
+    )
+    ranks = np.arange(n, dtype=np.int64)
+    rank_rows = np.minimum(ranks // cells_per_row, num_rows - 1)
+    frac = ((ranks - rank_rows * cells_per_row) + 0.5) / cells_per_row
+    odd = (rank_rows % 2) == 1
+    frac[odd] = 1.0 - frac[odd]
+    x = np.empty(n)
+    y = np.empty(n)
+    x[rank_gate] = die.x_min + frac * die.width
+    y[rank_gate] = die.y_min + (rank_rows + 0.5) * row_pitch
+
+    # --- 3. Centroid refinement with interleaved spreading ------------------
+    def spread(x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        order_y = np.argsort(y, kind="stable")
+        row_of = np.empty(n, dtype=np.int64)
+        row_of[order_y] = np.minimum(ranks // cells_per_row, num_rows - 1)
+        order, sorted_rows, starts = _row_partition(x, row_of, num_rows)
+        counts = np.diff(starts)
+        pos = ranks - starts[sorted_rows]
+        frac = (pos + 0.5) / counts[sorted_rows]
+        new_x = np.empty(n)
+        new_y = np.empty(n)
+        new_x[order] = die.x_min + frac * die.width
+        new_y[order] = die.y_min + (sorted_rows + 0.5) * row_pitch
+        return new_x, new_y, row_of
+
+    columns: Optional[_CentroidColumns] = None
+    if config.refinement_rounds > 0 and config.iterations_per_round > 0:
+        net_members, net_fixed = _attraction_nets(
+            netlist, gate_index, port_positions, config.max_fanout_for_attraction
+        )
+        columns = _CentroidColumns(net_members, net_fixed, n)
+
+    row_of = None
+    for _round in range(config.refinement_rounds):
+        for _it in range(config.iterations_per_round):
+            x, y = columns.step(x, y, config.damping)
+        x, y, row_of = spread(x, y)
+    if row_of is None:
+        _, _, row_of = spread(x, y)
+
+    # --- 4. Row legalization (pack by x order, scaled to fit) ----------------
+    widths = np.array([netlist.gates[name].cell.width_um for name in gate_names])
+    row_width = die.width
+    order, _sorted_rows, starts = _row_partition(x, row_of, num_rows)
+    gate_positions: Dict[str, Point] = {}
+    for row in range(num_rows):
+        members = order[starts[row]:starts[row + 1]]
+        count = len(members)
+        if count == 0:
+            continue
+        member_widths = widths[members]
+        total_width = member_widths.sum()
+        slack = max(row_width - total_width, 0.0)
+        gap = slack / (count + 1)
+        scale = min(1.0, row_width / total_width) if total_width > 0 else 1.0
+        scaled = member_widths * scale
+        row_y = float(die.y_min + row * floorplan.row_height_um)
+        # The sequential cursor chain  cursor = ((pos + width) + gap)  as an
+        # interleaved cumsum: identical left-to-right FP grouping.
+        seq = np.empty(2 * count + 1)
+        seq[0] = die.x_min + gap
+        seq[1::2] = scaled
+        seq[2::2] = gap
+        cursors = np.cumsum(seq)[0::2][:count]
+        limit = die.x_max - scaled
+        if np.any(cursors > limit):
+            # A cell would spill past the die edge: replay the reference's
+            # clamped scalar walk for this row (clamping alters every
+            # subsequent cursor, so the closed form no longer applies).
+            cursor = die.x_min + gap
+            for cell, width in zip(members.tolist(), scaled.tolist()):
+                pos_x = min(cursor, die.x_max - width)
+                gate_positions[gate_names[cell]] = Point(float(pos_x), row_y)
+                cursor = pos_x + width + gap
+            continue
+        for cell, pos_x in zip(members.tolist(), cursors.tolist()):
+            gate_positions[gate_names[cell]] = Point(pos_x, row_y)
+
+    return PlacementResult(floorplan, gate_positions, visible_ports, config)
+
+
+def place_reference(netlist: Netlist, floorplan: Optional[Floorplan] = None,
+                    utilization: float = 0.70,
+                    config: Optional[PlacerConfig] = None) -> PlacementResult:
+    """The retained seed placer (per-gate / per-net Python loops).
+
+    Kept verbatim as the behavioural reference for :func:`place`; the
+    equivalence suite asserts bit-identical results on every ISCAS circuit.
+    """
+    config = config if config is not None else PlacerConfig()
+    if floorplan is None:
+        floorplan = build_floorplan(netlist, utilization)
+
+    gate_names = list(netlist.gates.keys())
+    n = len(gate_names)
+
+    # --- 1. I/O assignment -------------------------------------------------
+    port_positions, visible_ports = _io_assignment(netlist, floorplan)
+    if n == 0:
+        return PlacementResult(floorplan, {}, visible_ports, config)
+
+    # --- 2. Connectivity-driven initial ordering on a serpentine curve -----
+    ordering = _initial_ordering(netlist, gate_names, config)
     order_index = {name: i for i, name in enumerate(ordering)}
     gate_index = {name: i for i, name in enumerate(gate_names)}
 
@@ -237,27 +508,9 @@ def place(netlist: Netlist, floorplan: Optional[Floorplan] = None,
         y[i] = floorplan.die.y_min + (row + 0.5) * row_pitch
 
     # --- 3. Centroid refinement with interleaved spreading ------------------
-    net_members: List[np.ndarray] = []
-    net_fixed: List[Tuple[float, float, int]] = []
-    for net in netlist.nets.values():
-        gates: List[str] = []
-        ports: List[str] = []
-        if net.driver is not None:
-            gates.append(net.driver[0])
-        elif net.is_primary_input:
-            ports.append(net.name)
-        gates.extend(sink for sink, _pin in net.sinks)
-        ports.extend(f"PO::{po}" for po in net.primary_outputs)
-        if len(gates) + len(ports) < 2:
-            continue
-        if len(gates) + len(ports) > config.max_fanout_for_attraction:
-            continue
-        idx = np.array([gate_index[g] for g in gates], dtype=np.int64)
-        fx = sum(port_positions[p].x for p in ports if p in port_positions)
-        fy = sum(port_positions[p].y for p in ports if p in port_positions)
-        fc = sum(1 for p in ports if p in port_positions)
-        net_members.append(idx)
-        net_fixed.append((fx, fy, fc))
+    net_members, net_fixed = _attraction_nets(
+        netlist, gate_index, port_positions, config.max_fanout_for_attraction
+    )
 
     cell_net_count = np.zeros(n)
     for idx in net_members:

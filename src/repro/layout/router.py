@@ -23,12 +23,30 @@ naive-lifting cells keep the affected wiring in the BEOL.
 The router is congestion-oblivious; the paper sizes its layouts so that they
 are congestion-free, and none of the reproduced metrics depend on detailed
 track assignment.
+
+Two build paths produce identical routings:
+
+* :func:`route` — the default: layer-pair selection and jog counts are
+  evaluated for *all* connections at once on NumPy columns, and the
+  staircase segment/via geometry is assembled from array-built coordinate
+  columns (:func:`route_connections_batch`), then materialized into the
+  usual :class:`Segment`/:class:`Via` objects;
+* :func:`route_reference` — the retained seed implementation calling
+  :func:`route_connection` per 2-pin connection.
+
+The batch path evaluates every floating-point expression with the same
+operations, in the same order, as :func:`route_connection` (fractions are
+integer-derived, prior positions are reconstructed from the identical
+``source + delta * frac`` expressions), so the two paths are bit-exact;
+``tests/test_build_vectorized.py`` asserts equality on all ISCAS circuits.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.layout.floorplan import Floorplan
 from repro.layout.geometry import Point, manhattan
@@ -210,6 +228,53 @@ def _via_stack(x: float, y: float, from_layer: int, to_layer: int) -> List[Via]:
     return [Via(x, y, layer, layer + 1) for layer in range(from_layer, to_layer)]
 
 
+def _new_segments(layers: List[int], x1s: List[float], y1s: List[float],
+                  x2s: List[float], y2s: List[float]) -> List[Segment]:
+    """Materialize :class:`Segment` objects from flat columns.
+
+    Bypasses the generated frozen-dataclass ``__init__`` (which funnels every
+    field through ``object.__setattr__``) by populating ``__dict__`` directly
+    — the hot path of the batched router builds hundreds of thousands of
+    these.  Field set must match the dataclass definition.
+    """
+    new = Segment.__new__
+    out: List[Segment] = []
+    append = out.append
+    for layer, x1, y1, x2, y2 in zip(layers, x1s, y1s, x2s, y2s):
+        segment = new(Segment)
+        d = segment.__dict__
+        d["layer"] = layer
+        d["x1"] = x1
+        d["y1"] = y1
+        d["x2"] = x2
+        d["y2"] = y2
+        append(segment)
+    return out
+
+
+def _new_vias(xs: List[float], ys: List[float], lowers: List[int],
+              uppers: List[int]) -> List[Via]:
+    """Materialize :class:`Via` objects from flat columns.
+
+    Same ``__dict__`` fast path as :func:`_new_segments`; callers must
+    guarantee the adjacency invariant ``upper == lower + 1`` that
+    ``Via.__post_init__`` would otherwise enforce (the batched router builds
+    its via columns from (H, H+1) layer pairs and unit-step pin stacks).
+    """
+    new = Via.__new__
+    out: List[Via] = []
+    append = out.append
+    for x, y, lower, upper in zip(xs, ys, lowers, uppers):
+        via = new(Via)
+        d = via.__dict__
+        d["x"] = x
+        d["y"] = y
+        d["lower"] = lower
+        d["upper"] = upper
+        append(via)
+    return out
+
+
 def route_connection(net: str, sink: SinkRef, source: Point, target: Point,
                      pair: Tuple[int, int], config: RouterConfig,
                      half_perimeter: float,
@@ -280,6 +345,210 @@ def route_connection(net: str, sink: SinkRef, source: Point, target: Point,
     )
 
 
+#: One :func:`route_connection` call as plain data: ``(net, sink, source,
+#: target, (h_layer, v_layer), source_hint, target_hint)``.
+ConnectionRequest = Tuple[
+    str, SinkRef, Point, Point, Tuple[int, int], Optional[Point], Optional[Point]
+]
+
+
+def route_connections_batch(requests: Sequence[ConnectionRequest],
+                            config: RouterConfig,
+                            half_perimeter: float) -> List[RoutedConnection]:
+    """Route many 2-pin connections at once from array-built columns.
+
+    Semantically ``[route_connection(*req, config, half_perimeter) for req
+    in requests]`` — and bit-exact with it — but the staircase fractions,
+    segment endpoints and via positions for *all* connections are computed
+    in a handful of NumPy passes over flat coordinate columns; the per-object
+    Python work left is materializing the :class:`Segment`/:class:`Via`
+    dataclasses from the columns.
+    """
+    if not requests:
+        return []
+    return _batch_connections(
+        net_names=[req[0] for req in requests],
+        sink_refs=[req[1] for req in requests],
+        sources=[req[2] for req in requests],
+        targets=[req[3] for req in requests],
+        h=np.asarray([req[4][0] for req in requests], dtype=np.int64),
+        v=np.asarray([req[4][1] for req in requests], dtype=np.int64),
+        source_hints=[req[5] for req in requests],
+        target_hints=[req[6] for req in requests],
+        config=config,
+        half_perimeter=half_perimeter,
+    )
+
+
+def _batch_connections(net_names: List[str], sink_refs: List[SinkRef],
+                       sources: List[Point], targets: List[Point],
+                       h: np.ndarray, v: np.ndarray,
+                       source_hints: Optional[List[Optional[Point]]],
+                       target_hints: Optional[List[Optional[Point]]],
+                       config: RouterConfig, half_perimeter: float,
+                       sx: Optional[np.ndarray] = None,
+                       sy: Optional[np.ndarray] = None,
+                       tx: Optional[np.ndarray] = None,
+                       ty: Optional[np.ndarray] = None) -> List[RoutedConnection]:
+    """Columnar core of :func:`route_connections_batch` (parallel lists in)."""
+    m = len(sink_refs)
+    if sx is None:
+        sx = np.asarray([p.x for p in sources], dtype=np.float64)
+        sy = np.asarray([p.y for p in sources], dtype=np.float64)
+    if tx is None:
+        tx = np.asarray([p.x for p in targets], dtype=np.float64)
+        ty = np.asarray([p.y for p in targets], dtype=np.float64)
+    dx = tx - sx
+    dy = ty - sy
+    lengths = np.abs(sx - tx) + np.abs(sy - ty)  # == manhattan(source, target)
+
+    # jogs = max(1, config.num_jogs(length, half_perimeter)) for every
+    # connection; int() truncates towards zero, as does the int64 cast.
+    if type(config) is RouterConfig:
+        if half_perimeter <= 0:
+            jogs = np.ones(m, dtype=np.int64)
+        else:
+            jogs = 1 + (
+                lengths / (config.jog_pitch_fraction * half_perimeter)
+            ).astype(np.int64)
+    else:  # subclassed policy: defer to the (possibly overridden) method
+        jogs = np.asarray(
+            [config.num_jogs(float(length), half_perimeter) for length in lengths],
+            dtype=np.int64,
+        )
+    jogs = np.maximum(1, jogs)
+
+    abs_dx = np.abs(dx)
+    abs_dy = np.abs(dy)
+    degenerate = (abs_dx < 1e-9) & (abs_dy < 1e-9)
+    straight = ((abs_dx < 1e-9) | (abs_dy < 1e-9)) & ~degenerate
+    stair = ~degenerate & ~straight
+
+    # --- staircase step columns (CSR over per-connection step counts) ------
+    stair_idx = np.nonzero(stair)[0]
+    local_of = np.full(m, -1, dtype=np.int64)
+    stair_segments: List[Segment] = []
+    bend_vias: List[Via] = []
+    if stair_idx.size:
+        local_of[stair_idx] = np.arange(stair_idx.size)
+        ssteps = jogs[stair_idx] + 1  # steps per stair connection, >= 2
+        seg_starts = np.concatenate(([0], np.cumsum(ssteps)))
+        total = int(seg_starts[-1])
+        rep = np.repeat(np.arange(stair_idx.size), ssteps)
+        k = np.arange(total, dtype=np.int64) - seg_starts[rep]
+        conn = stair_idx[rep]
+        steps_r = ssteps[rep]
+        sxr, syr = sx[conn], sy[conn]
+        dxr, dyr = dx[conn], dy[conn]
+        even = (k % 2) == 0
+        # The same integer-derived fractions route_connection evaluates:
+        # frac_next for the move of step k, k/steps and (k-1)/steps for the
+        # positions the moves started from.
+        frac_next = (k + 1) / steps_r
+        frac_k = k / steps_r
+        frac_km1 = (k - 1) / steps_r
+        new_x = sxr + dxr * frac_next
+        new_y = syr + dyr * frac_next
+        x_prev = np.where(
+            even,
+            np.where(k == 0, sxr, sxr + dxr * frac_km1),
+            sxr + dxr * frac_k,
+        )
+        y_prev = np.where(
+            even,
+            np.where(k == 0, syr, syr + dyr * frac_k),
+            np.where(k == 1, syr, syr + dyr * frac_km1),
+        )
+        seg_layer = np.where(even, h[conn], v[conn])
+        seg_x2 = np.where(even, new_x, x_prev)
+        seg_y2 = np.where(even, y_prev, new_y)
+        stair_segments = _new_segments(
+            seg_layer.tolist(), x_prev.tolist(), y_prev.tolist(),
+            seg_x2.tolist(), seg_y2.tolist(),
+        )
+        # One H<->V via after every non-final step, at the step's endpoint.
+        bend = k < (steps_r - 1)
+        bend_vias = _new_vias(
+            seg_x2[bend].tolist(), seg_y2[bend].tolist(),
+            h[conn][bend].tolist(), v[conn][bend].tolist(),
+        )
+        bend_starts_l = np.concatenate(([0], np.cumsum(ssteps - 1))).tolist()
+        # Where the staircase loop left off, and whether the remaining offset
+        # in either direction exceeds the closing tolerance.
+        last_even = np.where((ssteps - 1) % 2 == 0, ssteps - 1, ssteps - 2)
+        last_odd = np.where((ssteps - 1) % 2 == 1, ssteps - 1, ssteps - 2)
+        x_end = sx[stair_idx] + dx[stair_idx] * ((last_even + 1) / ssteps)
+        y_end = sy[stair_idx] + dy[stair_idx] * ((last_odd + 1) / ssteps)
+        close_x_l = (np.abs(x_end - tx[stair_idx]) > 1e-9).tolist()
+        close_y_l = (np.abs(y_end - ty[stair_idx]) > 1e-9).tolist()
+        x_end_l = x_end.tolist()
+        y_end_l = y_end.tolist()
+        seg_starts_l = seg_starts.tolist()
+
+    # --- sink pin stacks for every connection -------------------------------
+    stack_counts = np.maximum(h - config.pin_layer, 0)
+    stack_starts = np.concatenate(([0], np.cumsum(stack_counts)))
+    stack_rep = np.repeat(np.arange(m), stack_counts)
+    stack_layer = config.pin_layer + (
+        np.arange(int(stack_starts[-1]), dtype=np.int64) - stack_starts[stack_rep]
+    )
+    stack_vias = _new_vias(
+        tx[stack_rep].tolist(), ty[stack_rep].tolist(),
+        stack_layer.tolist(), (stack_layer + 1).tolist(),
+    )
+
+    # --- materialization (plain-list indexing only) -------------------------
+    h_l = h.tolist()
+    v_l = v.tolist()
+    local_l = local_of.tolist()
+    degenerate_l = degenerate.tolist()
+    straight_h_l = (abs_dy < 1e-9).tolist()  # straight runs pick H on flat y
+    stack_starts_l = stack_starts.tolist()
+    if source_hints is None:
+        source_hints = [None] * m
+    if target_hints is None:
+        target_hints = [None] * m
+    out: List[RoutedConnection] = []
+    append = out.append
+    stack_lo = 0
+    for i in range(m):
+        source = sources[i]
+        target = targets[i]
+        h_layer = h_l[i]
+        v_layer = v_l[i]
+        li = local_l[i]
+        if li >= 0:
+            segments = stair_segments[seg_starts_l[li]:seg_starts_l[li + 1]]
+            vias = bend_vias[bend_starts_l[li]:bend_starts_l[li + 1]]
+            if close_x_l[li]:
+                segments.append(Segment(h_layer, x_end_l[li], y_end_l[li], target.x, y_end_l[li]))
+                vias.append(Via(x_end_l[li], y_end_l[li], h_layer, v_layer))
+            if close_y_l[li]:
+                x_at = target.x if close_x_l[li] else x_end_l[li]
+                segments.append(Segment(v_layer, x_at, y_end_l[li], x_at, target.y))
+                vias.append(Via(x_at, y_end_l[li], h_layer, v_layer))
+        elif degenerate_l[i]:
+            segments = []
+            vias = []
+        else:
+            layer = h_layer if straight_h_l[i] else v_layer
+            segments = [Segment(layer, source.x, source.y, target.x, target.y)]
+            vias = []
+        stack_hi = stack_starts_l[i + 1]
+        if stack_hi > stack_lo:
+            vias.extend(stack_vias[stack_lo:stack_hi])
+        stack_lo = stack_hi
+        source_hint = source_hints[i]
+        target_hint = target_hints[i]
+        append(RoutedConnection(
+            net_names[i], sink_refs[i], source, target, h_layer, v_layer,
+            segments, vias,
+            source_hint if source_hint is not None else target,
+            target_hint if target_hint is not None else source,
+        ))
+    return out
+
+
 def _terminal_position(netlist: Netlist, placement: PlacementResult,
                        net_name: str) -> Optional[Point]:
     """Position of a net's driver (gate origin or primary-input pad)."""
@@ -291,10 +560,107 @@ def _terminal_position(netlist: Netlist, placement: PlacementResult,
     return None
 
 
+def _gather_connections(netlist: Netlist, placement: PlacementResult):
+    """Collect every routable (net, sink, source, target) 2-pin connection.
+
+    Returns ``(entries, sources, sinks, targets)`` where ``entries`` holds one
+    ``(net_name, net, source, start, stop)`` slice per routed net over the
+    flat connection lists.  Skip logic matches the reference exactly.
+    """
+    entries = []
+    net_names: List[str] = []
+    sink_refs: List[SinkRef] = []
+    sources: List[Point] = []
+    targets: List[Point] = []
+    for net_name, net in netlist.nets.items():
+        source = _terminal_position(netlist, placement, net_name)
+        if source is None:
+            continue
+        start = len(sink_refs)
+        for sink_gate, sink_pin in net.sinks:
+            pos = placement.gate_positions.get(sink_gate)
+            if pos is not None:
+                sink_refs.append((sink_gate, sink_pin))
+                targets.append(pos)
+        for po in net.primary_outputs:
+            pos = placement.port_positions.get(po)
+            if pos is not None:
+                sink_refs.append(("PO", po))
+                targets.append(pos)
+        stop = len(sink_refs)
+        if stop == start:
+            continue
+        net_names.extend([net_name] * (stop - start))
+        sources.extend([source] * (stop - start))
+        entries.append((net_name, net, source, start, stop))
+    return entries, net_names, sink_refs, sources, targets
+
+
+def _select_pairs(config: RouterConfig, lengths: np.ndarray,
+                  half_perimeter: float,
+                  lift: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(H, V) layer pair per connection, batched.
+
+    ``lift`` holds the per-connection lift floor (``-1`` = unconstrained).
+    Reproduces :meth:`RouterConfig.pair_for_length` (strict ``ratio <
+    threshold`` scan == right-bisect over the thresholds) and
+    :meth:`RouterConfig.pair_for_lifted`.
+    """
+    m = len(lengths)
+    pairs = np.asarray(config.layer_pairs, dtype=np.int64)
+    if half_perimeter > 0:
+        thresholds = np.asarray(
+            config.length_thresholds[:len(config.layer_pairs)], dtype=np.float64
+        )
+        ratio = lengths / half_perimeter
+        pick = np.searchsorted(thresholds, ratio, side="right")
+        # A ratio past every threshold falls through to the *last* pair —
+        # even when there are fewer thresholds than pairs (the reference
+        # zip() scan stops at the shorter sequence).
+        pick = np.where(pick >= len(thresholds), len(pairs) - 1, pick)
+    else:
+        pick = np.zeros(m, dtype=np.int64)
+    h = pairs[pick, 0]
+    v = pairs[pick, 1]
+    lifted = lift >= 0
+    if lifted.any():
+        lifted_h = np.maximum(h[lifted], lift[lifted])
+        if half_perimeter > 0:
+            escalate = ratio[lifted] >= config.lift_escalation_fraction
+            lifted_h = np.where(
+                escalate,
+                np.maximum(lifted_h, np.minimum(lift[lifted] + 1, NUM_METAL_LAYERS - 1)),
+                lifted_h,
+            )
+        h = h.copy()
+        v = v.copy()
+        h[lifted] = lifted_h
+        v[lifted] = np.minimum(lifted_h + 1, NUM_METAL_LAYERS)
+    return h, v
+
+
+def _selection_is_vectorizable(config: RouterConfig) -> bool:
+    """True when the batched pair selection reproduces the config's methods.
+
+    A subclass may override the policy methods, and the right-bisect trick
+    needs non-decreasing thresholds; anything else falls back to calling the
+    per-connection methods (geometry construction stays batched).
+    """
+    if type(config) is not RouterConfig:
+        return False
+    thresholds = config.length_thresholds[:len(config.layer_pairs)]
+    return all(a <= b for a, b in zip(thresholds, thresholds[1:]))
+
+
 def route(netlist: Netlist, placement: PlacementResult,
           config: Optional[RouterConfig] = None,
           min_layer_per_net: Optional[Mapping[str, int]] = None) -> Dict[str, RoutedNet]:
     """Route every net of ``netlist`` over ``placement``.
+
+    This is the batched build path: layer pairs and jog counts are selected
+    on NumPy columns and the segment/via geometry is array-built
+    (:func:`route_connections_batch`).  Bit-exact with
+    :func:`route_reference` at equal inputs.
 
     Args:
         netlist: The design to route.
@@ -307,6 +673,72 @@ def route(netlist: Netlist, placement: PlacementResult,
     Returns:
         Mapping net name → :class:`RoutedNet`.  Nets without a placed driver
         or without sinks are skipped.
+    """
+    config = config if config is not None else RouterConfig()
+    min_layer_per_net = min_layer_per_net or {}
+    half_perimeter = placement.floorplan.half_perimeter_um
+
+    entries, net_names, sink_refs, sources, targets = _gather_connections(
+        netlist, placement
+    )
+    routed: Dict[str, RoutedNet] = {}
+    if not entries:
+        return routed
+
+    sx = np.asarray([p.x for p in sources], dtype=np.float64)
+    sy = np.asarray([p.y for p in sources], dtype=np.float64)
+    tx = np.asarray([p.x for p in targets], dtype=np.float64)
+    ty = np.asarray([p.y for p in targets], dtype=np.float64)
+    lengths = np.abs(sx - tx) + np.abs(sy - ty)  # == manhattan(source, target)
+    lift = np.asarray(
+        [min_layer_per_net.get(name, -1) for name in net_names], dtype=np.int64
+    )
+    if _selection_is_vectorizable(config):
+        h, v = _select_pairs(config, lengths, half_perimeter, lift)
+    else:
+        selected = [
+            config.pair_for_lifted(float(length), half_perimeter, int(net_lift))
+            if net_lift >= 0
+            else config.pair_for_length(float(length), half_perimeter)
+            for length, net_lift in zip(lengths, lift)
+        ]
+        h = np.asarray([pair[0] for pair in selected], dtype=np.int64)
+        v = np.asarray([pair[1] for pair in selected], dtype=np.int64)
+
+    connections = _batch_connections(
+        net_names, sink_refs, sources, targets, h, v,
+        source_hints=None, target_hints=None,
+        config=config, half_perimeter=half_perimeter,
+        sx=sx, sy=sy, tx=tx, ty=ty,
+    )
+
+    # Driver pin via stacks: per-net max H layer in one reduceat pass.
+    net_starts = np.asarray([entry[3] for entry in entries], dtype=np.intp)
+    max_h_per_net = np.maximum(
+        np.maximum.reduceat(h, net_starts), config.pin_layer
+    ).tolist()
+    for entry_idx, (net_name, net, source, start, stop) in enumerate(entries):
+        routed_net = RoutedNet(
+            name=net_name, driver_point=source,
+            connections=connections[start:stop],
+        )
+        # Driver pin via stack, shared by all connections of the net, reaches
+        # the highest H layer any connection uses.
+        if net.driver is not None or net.is_primary_input:
+            routed_net.driver_vias = _via_stack(
+                source.x, source.y, config.pin_layer, max_h_per_net[entry_idx]
+            )
+        routed[net_name] = routed_net
+    return routed
+
+
+def route_reference(netlist: Netlist, placement: PlacementResult,
+                    config: Optional[RouterConfig] = None,
+                    min_layer_per_net: Optional[Mapping[str, int]] = None) -> Dict[str, RoutedNet]:
+    """The retained seed router (one :func:`route_connection` per sink).
+
+    Kept verbatim as the behavioural reference for :func:`route`; the
+    equivalence suite asserts bit-identical routings on every ISCAS circuit.
     """
     config = config if config is not None else RouterConfig()
     min_layer_per_net = min_layer_per_net or {}

@@ -1,0 +1,119 @@
+"""Golden regression suite: tiny-scale seed-0 snapshots of every table/figure.
+
+Each committed file under ``tests/golden/`` holds the exact table one
+experiment produces on the reduced :data:`GOLDEN_CONFIG` — bit-identical
+cell values included — so any refactor of the build path, the attacks or the
+metrics gets an end-to-end identity check for free instead of ad-hoc manual
+verification.
+
+Regenerate the snapshots (only when an *intentional* behaviour change is
+being made) with::
+
+    PYTHONPATH=src python tests/test_golden_tables.py --regen
+
+The comparison tests are marked ``slow``: they run in the full CI suite
+(``pytest -m "slow or not slow"``), not in tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The tiny, fast configuration every snapshot is recorded at (seed 0).
+GOLDEN_CONFIG = ExperimentConfig(
+    iscas_benchmarks=("c432", "c880"),
+    superblue_benchmarks=("superblue18",),
+    superblue_scale=0.0025,
+    iscas_split_layers=(4,),
+    num_patterns=256,
+    iscas_swap_fractions=(0.05,),
+    superblue_swap_fractions=(0.02,),
+    seed=0,
+)
+
+
+def _experiments():
+    from repro.experiments.runner import EXPERIMENTS
+
+    return EXPERIMENTS
+
+
+def _plain(value: Any) -> Any:
+    """JSON-safe cell value (NumPy scalars unwrapped, floats kept exact)."""
+    if hasattr(value, "item") and not isinstance(value, (int, float, str)):
+        value = value.item()
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    return str(value)
+
+
+def table_payload(table) -> Dict[str, Any]:
+    """The comparable plain-data form of a :class:`repro.utils.tables.Table`."""
+    return {
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [[_plain(cell) for cell in row] for row in table.rows],
+    }
+
+
+def golden_names() -> List[str]:
+    return sorted(_experiments())
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", golden_names())
+def test_golden_table(name):
+    """Every experiment reproduces its committed seed-0 snapshot exactly."""
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"missing golden snapshot {path}; regenerate with "
+        "`python tests/test_golden_tables.py --regen`"
+    )
+    golden = json.loads(path.read_text())
+    assert golden["config"] == GOLDEN_CONFIG.to_dict(), (
+        "golden snapshot was recorded at a different configuration; "
+        "regenerate the snapshots"
+    )
+    table = _experiments()[name](GOLDEN_CONFIG)
+    fresh = table_payload(table)
+    assert fresh["columns"] == golden["table"]["columns"], name
+    assert fresh["title"] == golden["table"]["title"], name
+    golden_rows = golden["table"]["rows"]
+    assert len(fresh["rows"]) == len(golden_rows), name
+    for i, (fresh_row, golden_row) in enumerate(zip(fresh["rows"], golden_rows)):
+        assert fresh_row == golden_row, (
+            f"{name} row {i} drifted:\n  fresh:  {fresh_row}\n  golden: {golden_row}"
+        )
+
+
+def regenerate() -> None:  # pragma: no cover - manual entry point
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, run in _experiments().items():
+        table = run(GOLDEN_CONFIG)
+        payload = {
+            "experiment": name,
+            "config": GOLDEN_CONFIG.to_dict(),
+            "table": table_payload(table),
+        }
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    import sys
+
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
