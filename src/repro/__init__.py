@@ -36,7 +36,13 @@ from repro.api import (
     DEFENSES,
     METRICS,
     AttackSpec,
+    BuildError,
+    ExecError,
+    FailureRecord,
+    FaultPlan,
     MetricSpec,
+    RetryPolicy,
+    ScenarioError,
     ScenarioResult,
     ScenarioSpec,
     SweepResult,
@@ -56,10 +62,16 @@ __all__ = [
     "DEFENSES",
     "METRICS",
     "AttackSpec",
+    "BuildError",
+    "ExecError",
     "ExperimentConfig",
+    "FailureRecord",
+    "FaultPlan",
     "MetricSpec",
     "ProtectionConfig",
     "ProtectionResult",
+    "RetryPolicy",
+    "ScenarioError",
     "ScenarioResult",
     "ScenarioSpec",
     "SweepResult",

@@ -55,9 +55,20 @@ from repro.api.workspace import (  # noqa: E402
     SweepResult,
     Workspace,
     aggregate_sweep_values,
+    build_label,
     default_workspace,
     flatten_sweep_aggregate,
     reset_default_workspace,
+)
+from repro.exec import (  # noqa: E402
+    BuildError,
+    ChaosCrash,
+    ChaosFailure,
+    ExecError,
+    FailureRecord,
+    FaultPlan,
+    RetryPolicy,
+    ScenarioError,
 )
 
 __all__ = [
@@ -67,12 +78,20 @@ __all__ = [
     "AttackOutcome",
     "AttackRecord",
     "AttackSpec",
+    "BuildError",
+    "ChaosCrash",
+    "ChaosFailure",
+    "ExecError",
+    "FailureRecord",
+    "FaultPlan",
     "MetricContext",
     "MetricSpec",
     "ProposedParams",
     "ProximityAttackParams",
     "Registry",
     "RegistryEntry",
+    "RetryPolicy",
+    "ScenarioError",
     "ScenarioResult",
     "ScenarioSpec",
     "SchemeBuild",
@@ -82,6 +101,7 @@ __all__ = [
     "UnknownNameError",
     "Workspace",
     "aggregate_sweep_values",
+    "build_label",
     "build_params",
     "flatten_sweep_aggregate",
     "default_workspace",

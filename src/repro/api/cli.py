@@ -20,12 +20,24 @@ Subcommands::
 
 Scenario results print as JSON (``--output`` writes to a file); experiment
 tables print in the usual plain-text form.
+
+Resilience: ``run --retries N`` retries failing builds (total attempts
+N + 1, exponential backoff), ``--timeout S`` kills builds hanging past S
+seconds in the parallel prewarm, and ``--keep-going`` switches the batch
+APIs to ``on_error="skip"`` — failed seeds are dropped, surviving seeds
+aggregate with an honest ``n``, and a machine-readable JSON failure summary
+goes to stderr.
+
+Exit codes: ``0`` success, ``1`` unrecoverable execution failure (a build
+or sweep died for good; structured JSON on stderr), ``2`` usage errors,
+``3`` partial success (``--keep-going`` skipped at least one seed/scenario).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional
@@ -33,6 +45,10 @@ from typing import Any, Dict, List, Mapping, Optional
 from repro.api.registry import ATTACKS, DEFENSES, METRICS, ensure_builtins
 from repro.api.spec import ScenarioSpec, load_specs
 from repro.api.workspace import default_workspace
+from repro.exec import ExecError, RetryPolicy
+
+#: Exit code for partial results (seeds skipped under --keep-going).
+EXIT_PARTIAL = 3
 
 
 def _experiment_registry():
@@ -126,6 +142,34 @@ def _resolved_jobs(args: argparse.Namespace) -> int:
     return args.jobs if args.jobs is not None else default_jobs()
 
 
+def apply_resilience_flags(args: argparse.Namespace) -> None:
+    """Map ``--retries/--timeout/--keep-going`` onto the default workspace.
+
+    The workspace defaults govern every execution path the CLI reaches
+    (parallel prewarm, serial cache-miss builds, sweep aggregation), so the
+    flags behave identically for spec files and experiment targets.
+    """
+    workspace = default_workspace()
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "timeout", None)
+    if retries is not None or timeout is not None:
+        workspace.retry = RetryPolicy(
+            max_attempts=(retries or 0) + 1, timeout_s=timeout
+        )
+    if getattr(args, "keep_going", False):
+        workspace.on_error = "skip"
+
+
+def drain_failure_dicts() -> List[Dict[str, Any]]:
+    """Failure records of the run as compact JSON-ready dicts."""
+    records = []
+    for record in default_workspace().drain_failures():
+        data = record.to_dict()
+        data.pop("traceback_text", None)  # keep the stderr summary compact
+        records.append(data)
+    return records
+
+
 def _run_payload(payload: Any, args: argparse.Namespace) -> str:
     """Dispatch a parsed JSON payload to scenarios or experiment grids."""
     if isinstance(payload, Mapping) and ("experiment" in payload or "experiments" in payload):
@@ -168,36 +212,68 @@ def _run_payload(payload: Any, args: argparse.Namespace) -> str:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    try:
+        apply_resilience_flags(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     target = args.target
-    if target.endswith(".json") or "/" in target or "\\" in target:
-        path = Path(target)
-        if not path.exists():
-            print(f"error: spec file {target!r} does not exist", file=sys.stderr)
-            return 2
-        output = _run_payload(json.loads(path.read_text()), args)
-    else:
-        experiments = _experiment_registry()
-        names = list(experiments) if target == "all" else [target]
-        unknown = [name for name in names if name not in experiments]
-        if unknown:
-            print(
-                f"error: unknown experiment {unknown[0]!r}; choose from "
-                f"{', '.join(experiments)} or 'all', or pass a .json spec file",
-                file=sys.stderr,
-            )
-            return 2
-        config = _build_experiment_config(args)
-        if args.seeds:
-            output = _run_experiment_sweeps(
-                names, config, args.seeds, jobs=_resolved_jobs(args)
-            )
+    try:
+        if target.endswith(".json") or "/" in target or "\\" in target:
+            path = Path(target)
+            if not path.exists():
+                print(f"error: spec file {target!r} does not exist", file=sys.stderr)
+                return 2
+            output = _run_payload(json.loads(path.read_text()), args)
         else:
-            output = _run_experiments(names, config, jobs=_resolved_jobs(args))
+            experiments = _experiment_registry()
+            names = list(experiments) if target == "all" else [target]
+            unknown = [name for name in names if name not in experiments]
+            if unknown:
+                print(
+                    f"error: unknown experiment {unknown[0]!r}; choose from "
+                    f"{', '.join(experiments)} or 'all', or pass a .json spec file",
+                    file=sys.stderr,
+                )
+                return 2
+            config = _build_experiment_config(args)
+            if args.seeds:
+                output = _run_experiment_sweeps(
+                    names, config, args.seeds, jobs=_resolved_jobs(args)
+                )
+            else:
+                output = _run_experiments(names, config, jobs=_resolved_jobs(args))
+    except ExecError as error:
+        # Unrecoverable even after retries/partial degradation: report it
+        # machine-readably and exit nonzero.
+        summary = {
+            "status": "failed",
+            "error_type": type(error).__name__,
+            "message": str(error),
+            "failures": [
+                {k: v for k, v in record.to_dict().items() if k != "traceback_text"}
+                for record in getattr(error, "failures", [])
+            ] or drain_failure_dicts(),
+        }
+        print(json.dumps(summary, indent=2, sort_keys=True), file=sys.stderr)
+        return 1
     if args.output:
         Path(args.output).write_text(output + "\n")
         print(f"wrote {args.output}")
     else:
         print(output)
+    failures = drain_failure_dicts()
+    if failures:
+        # Partial success: stdout holds the surviving results, stderr the
+        # machine-readable account of what was skipped.
+        print(
+            json.dumps(
+                {"status": "partial", "skipped": len(failures), "failures": failures},
+                indent=2, sort_keys=True,
+            ),
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
     return 0
 
 
@@ -274,6 +350,19 @@ def build_parser() -> argparse.ArgumentParser:
                                  "report per-seed values plus mean/std/CI")
     run_parser.add_argument("--jobs", "-j", type=int, default=None,
                             help="worker processes for the artefact prewarm")
+    run_parser.add_argument("--retries", type=int, default=None,
+                            help="retry a failed build up to N times "
+                                 "(total attempts N+1, exponential backoff; "
+                                 "default 0)")
+    run_parser.add_argument("--timeout", type=float, default=None,
+                            help="per-build timeout in seconds; hung workers "
+                                 "are killed and the build re-queued "
+                                 "(parallel prewarm only)")
+    run_parser.add_argument("--keep-going", action="store_true",
+                            help="don't abort the run on a failed seed: "
+                                 "record it, aggregate the survivors, exit "
+                                 f"with code {EXIT_PARTIAL} and a JSON "
+                                 "failure summary on stderr")
     run_parser.add_argument("--output", "-o", default=None,
                             help="write the report to a file instead of stdout")
     run_parser.set_defaults(fn=cmd_run)
@@ -292,6 +381,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    # Surface the execution layer's degradation/retry warnings on stderr
+    # (no-op when the embedding application already configured logging).
+    logging.basicConfig(format="%(levelname)s %(name)s: %(message)s")
     parser = build_parser()
     args = parser.parse_args(argv)
     if not getattr(args, "fn", None):

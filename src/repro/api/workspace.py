@@ -11,19 +11,36 @@ silently served stale results across e.g. differing lift layers.
 The workspace also owns execution:
 
 * :meth:`Workspace.prewarm` builds missing artefacts in parallel worker
-  processes (``jobs``), publishing results under a lock — the same
-  degradation story as before (sandboxes without multiprocessing fall back
-  to serial, sibling results of a failing build are still published);
+  processes (``jobs``) through the crash-tolerant
+  :class:`~repro.exec.supervisor.PoolSupervisor`: failed builds are retried
+  under the workspace's :class:`~repro.exec.retry.RetryPolicy`, a crashed
+  pool is respawned with its in-flight builds re-queued, hung workers are
+  killed past the per-build timeout, poison builds are quarantined instead
+  of tearing the batch down, and completed sibling builds are always
+  published.  Environments without multiprocessing degrade to serial — with
+  a warning on the ``repro`` logger, never silently;
 * :meth:`Workspace.run_scenario` executes one declarative
   :class:`~repro.api.spec.ScenarioSpec` and returns a structured
   :class:`ScenarioResult` (memoized by spec content hash);
-* :meth:`Workspace.run_scenarios` is the batch API: prewarm the distinct
-  builds, then evaluate every scenario against the warm cache.
+* :meth:`Workspace.run_scenarios` / :meth:`Workspace.run_sweeps` are the
+  batch APIs: prewarm the distinct builds, then evaluate every scenario
+  against the warm cache.  Under ``on_error="skip"`` failed seeds become
+  :class:`~repro.exec.errors.FailureRecord` entries
+  (``SweepResult.failures``) while aggregation proceeds over the surviving
+  seeds with an honest ``n``; the default ``on_error="raise"`` re-raises
+  the first failure once sibling results are published.
+
+Fault injection for testing the above lives in :mod:`repro.exec.chaos`: a
+:class:`~repro.exec.chaos.FaultPlan` passed to the constructor (or via the
+``REPRO_CHAOS`` environment variable) deterministically fails, hangs or
+crashes chosen build attempts.  Retries re-run the same deterministic build,
+so the bit-exactness contract is untouched: a sweep that recovers from
+faults returns results bit-identical to a fault-free run.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
+import logging
 import os
 import threading
 import time
@@ -34,8 +51,25 @@ from repro.api.registry import ATTACKS, DEFENSES, METRICS, ensure_builtins
 from repro.api.spec import ScenarioSpec
 from repro.circuits.registry import get_benchmark
 from repro.core.flow import ProtectionConfig, ProtectionResult
+from repro.exec.chaos import FaultPlan
+from repro.exec.errors import BuildError, FailureRecord, ScenarioError
+from repro.exec.retry import RetryPolicy, execute_with_retries
+from repro.exec.supervisor import PoolSupervisor, SupervisorReport, TaskSpec
 from repro.netlist.netlist import Netlist
 from repro.sm.split import extract_feol
+
+_log = logging.getLogger(__name__)
+
+#: The two failure-handling modes of the batch APIs.
+ON_ERROR_MODES = ("raise", "skip")
+
+
+def _coerce_on_error(value: str) -> str:
+    if value not in ON_ERROR_MODES:
+        raise ValueError(
+            f"on_error must be one of {', '.join(ON_ERROR_MODES)}; got {value!r}"
+        )
+    return value
 
 
 @dataclass
@@ -198,6 +232,11 @@ class SweepResult:
     (aligned with ``seeds``); ``layout_metrics`` / ``attack_records`` mirror
     their scalar counterparts with every numeric leaf replaced by a
     mean/std/CI aggregate (see :func:`aggregate_sweep_values`).
+
+    Under ``on_error="skip"`` a sweep may be **partial**: ``seeds`` then
+    holds only the surviving seeds (still aligned with ``results``, so every
+    aggregate's ``n`` is honest), and ``failures`` records one
+    :class:`~repro.exec.errors.FailureRecord` per dropped seed.
     """
 
     spec: ScenarioSpec
@@ -208,11 +247,21 @@ class SweepResult:
     results: List[ScenarioResult] = field(default_factory=list)
     layout_metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     attack_records: List[SweepAttackRecord] = field(default_factory=list)
+    failures: List[FailureRecord] = field(default_factory=list)
     elapsed_s: float = 0.0
 
     @property
     def num_seeds(self) -> int:
+        """Surviving seed count (the ``n`` every aggregate reports)."""
         return len(self.seeds)
+
+    @property
+    def failed_seeds(self) -> Tuple[int, ...]:
+        return tuple(record.seed for record in self.failures)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
 
     def metric(self, name: str, layout: str = "protected") -> Any:
         """The aggregate of a layout/compare metric for one layout variant."""
@@ -229,8 +278,10 @@ class SweepResult:
             "benchmark": self.benchmark,
             "scheme": self.scheme,
             "seeds": list(self.seeds),
+            "failed_seeds": list(self.failed_seeds),
             "layout_metrics": self.layout_metrics,
             "attack_records": [record.to_dict() for record in self.attack_records],
+            "failures": [record.to_dict() for record in self.failures],
             "results": [result.to_dict() for result in self.results],
             "elapsed_s": self.elapsed_s,
         }
@@ -238,12 +289,27 @@ class SweepResult:
 
 def _build_sweep_result(spec: ScenarioSpec, seeds: Tuple[int, ...],
                         results: List[ScenarioResult],
-                        elapsed_s: float) -> SweepResult:
+                        elapsed_s: float,
+                        failures: Sequence[FailureRecord] = ()) -> SweepResult:
     """Aggregate aligned per-seed scenario results into a :class:`SweepResult`."""
+    failures = list(failures)
+    if not results:
+        # Without the guard this crashed with an opaque IndexError on
+        # results[0]; reachable whenever on_error="skip" drops every seed.
+        detail = (
+            f"; first failure: {failures[0].summary()}" if failures
+            else " (empty seed expansion)"
+        )
+        raise ScenarioError(
+            f"sweep of scenario {spec.short_hash} "
+            f"({spec.benchmark}:{spec.scheme}) has no surviving seeds — "
+            f"all {len(failures)} failed{detail}",
+            spec_hash=spec.content_hash(), failures=failures,
+        )
     sweep = SweepResult(
         spec=spec, spec_hash=spec.content_hash(),
         benchmark=spec.benchmark, scheme=spec.scheme,
-        seeds=seeds, results=results, elapsed_s=elapsed_s,
+        seeds=seeds, results=results, failures=failures, elapsed_s=elapsed_s,
     )
     for name in results[0].layout_metrics:
         sweep.layout_metrics[name] = {
@@ -285,6 +351,26 @@ def _build_scheme_keyed(key: str, payload: Mapping[str, Any]):
     return key, _build_scheme(payload)
 
 
+def build_label(spec: ScenarioSpec) -> str:
+    """Human-readable build identity (also the chaos-plan match target)."""
+    scale = f"@{spec.scale:g}" if spec.scale is not None else ""
+    return f"{spec.benchmark}{scale}:{spec.scheme}:seed{spec.seed}"
+
+
+def _supervised_build(key: str, payload: Mapping[str, Any], attempt: int):
+    """Pool-supervisor task: build one scheme, applying any chaos faults.
+
+    Module-level (pickles into workers).  The fault plan travels inside the
+    task payload — *not* the build dict, which is the cache-key payload —
+    and is applied before the build so injected crashes kill the worker
+    mid-task, exactly like a real native-code crash would.
+    """
+    chaos = payload.get("chaos")
+    if chaos:
+        FaultPlan.from_dict(chaos).inject(payload["label"], attempt)
+    return _build_scheme(payload["build"])
+
+
 def default_jobs() -> int:
     """Worker count used when ``jobs`` is not given."""
     return max(1, min(os.cpu_count() or 1, 8))
@@ -296,13 +382,37 @@ class Workspace:
     A workspace is cheap to create; everything it caches lives on the
     instance, so tests and services can hold isolated sessions.  Most code
     shares the process-wide :func:`default_workspace`.
+
+    Args:
+        jobs: Default worker-process count for the batch APIs.
+        retry: Default :class:`~repro.exec.retry.RetryPolicy` applied to
+            every build (serial and pooled).  The default single-attempt
+            policy preserves the historical fail-fast behaviour.
+        on_error: Default failure mode of the batch APIs — ``"raise"``
+            re-raises the first failure (after publishing sibling results),
+            ``"skip"`` records failed seeds/scenarios as
+            :class:`~repro.exec.errors.FailureRecord` entries and keeps
+            going with partial results.
+        chaos: A :class:`~repro.exec.chaos.FaultPlan` injecting
+            deterministic faults into builds (tests, resilience drills).
+            Defaults to the plan configured via the ``REPRO_CHAOS``
+            environment variable, if any.
     """
 
-    def __init__(self, *, jobs: Optional[int] = None):
+    def __init__(self, *, jobs: Optional[int] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 on_error: str = "raise",
+                 chaos: Optional[FaultPlan] = None):
         self.default_jobs = jobs
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.on_error = _coerce_on_error(on_error)
+        self.chaos = chaos if chaos is not None else FaultPlan.from_env()
+        self.last_report: Optional[SupervisorReport] = None
         self._builds: Dict[str, Any] = {}
         self._scenarios: Dict[str, ScenarioResult] = {}
         self._netlists: Dict[Tuple[str, int, Optional[float]], Netlist] = {}
+        self._quarantined: Dict[str, BuildError] = {}
+        self._failures: List[FailureRecord] = []
         self._lock = threading.RLock()
         self._stats = {
             "build_hits": 0, "build_misses": 0,
@@ -320,11 +430,44 @@ class Workspace:
             return dict(self._stats)
 
     def clear(self) -> None:
-        """Drop every cached build, scenario result and netlist."""
+        """Drop every cached build, scenario result, netlist and quarantine."""
         with self._lock:
             self._builds.clear()
             self._scenarios.clear()
             self._netlists.clear()
+            self._quarantined.clear()
+            self._failures.clear()
+
+    # -- failure bookkeeping -----------------------------------------------
+
+    def quarantined(self) -> Dict[str, BuildError]:
+        """Builds currently quarantined (build key → the terminal error)."""
+        with self._lock:
+            return dict(self._quarantined)
+
+    def clear_quarantine(self) -> None:
+        """Forget quarantined builds so later calls may retry them."""
+        with self._lock:
+            self._quarantined.clear()
+
+    def _record_failure(self, record: FailureRecord) -> None:
+        with self._lock:
+            self._failures.append(record)
+        _log.warning("%s", record.summary())
+
+    def drain_failures(self) -> List[FailureRecord]:
+        """Failure records accumulated by skip-mode runs (cleared on read).
+
+        Records are deduplicated: a build that failed in the prewarm *and*
+        again when its scenario ran yields one record (the latest).
+        """
+        with self._lock:
+            records, self._failures = self._failures, []
+        deduped: Dict[Tuple[str, int, str], FailureRecord] = {}
+        for record in records:
+            key = (record.build_key or record.spec_hash, record.seed, record.kind)
+            deduped[key] = record
+        return list(deduped.values())
 
     def has_build(self, spec: ScenarioSpec) -> bool:
         key = spec.build_key()
@@ -344,7 +487,13 @@ class Workspace:
             return self._netlists.setdefault(key, netlist)
 
     def build(self, spec: ScenarioSpec):
-        """The :class:`~repro.api.schemes.SchemeBuild` for ``spec`` (cached)."""
+        """The :class:`~repro.api.schemes.SchemeBuild` for ``spec`` (cached).
+
+        Cache misses run under the workspace's retry policy (and fault
+        plan); a build that exhausts its attempt budget raises (and stays)
+        a quarantined :class:`~repro.exec.errors.BuildError` — clear it
+        with :meth:`clear_quarantine` to allow another try.
+        """
         ensure_builtins()
         key = spec.build_key()
         with self._lock:
@@ -352,12 +501,30 @@ class Workspace:
                 self._stats["build_hits"] += 1
                 return self._builds[key]
             self._stats["build_misses"] += 1
+            quarantined = self._quarantined.get(key)
+        if quarantined is not None:
+            raise quarantined
         entry = DEFENSES.get(spec.scheme)
         params = entry.make_params(spec.scheme_params)
-        netlist = self.netlist(spec.benchmark, seed=spec.seed, scale=spec.scale)
-        built = entry.fn(netlist, params, spec.seed)
+        label = build_label(spec)
+
+        def attempt_build(attempt: int):
+            if self.chaos is not None:
+                self.chaos.inject(label, attempt)
+            netlist = self.netlist(spec.benchmark, seed=spec.seed, scale=spec.scale)
+            return entry.fn(netlist, params, spec.seed)
+
+        try:
+            built = execute_with_retries(
+                attempt_build, key=key, label=label, policy=self.retry
+            )
+        except BuildError as error:
+            with self._lock:
+                self._quarantined[key] = error
+            raise
         with self._lock:
             built = self._builds.setdefault(key, built)
+            self._quarantined.pop(key, None)
         self._publish_baseline(spec, built)
         return built
 
@@ -417,14 +584,29 @@ class Workspace:
     # -- parallel prewarm --------------------------------------------------
 
     def prewarm(self, specs: Iterable[ScenarioSpec],
-                jobs: Optional[int] = None) -> List[ScenarioSpec]:
+                jobs: Optional[int] = None, *,
+                policy: Optional[RetryPolicy] = None,
+                on_error: Optional[str] = None) -> List[ScenarioSpec]:
         """Build the missing artefacts of ``specs`` in parallel processes.
 
-        Returns the specs whose builds actually ran (first spec per distinct
-        build key, in input order).  Mirrors the historical behaviour:
-        no/broken multiprocessing degrades to serial, results of successful
-        sibling builds are published even when one build fails, and the
-        first failure is re-raised afterwards.
+        Execution runs through the crash-tolerant
+        :class:`~repro.exec.supervisor.PoolSupervisor`: every build gets
+        ``policy.max_attempts`` tries (with deterministic backoff), a
+        crashed pool is respawned with its in-flight builds re-queued, hung
+        builds are killed past ``policy.timeout_s``, and each success is
+        published the moment it lands, so one poison build can never take
+        completed sibling work down with it.  Environments without
+        multiprocessing degrade to serial execution with a logged warning.
+
+        Builds that exhaust their attempt budget are quarantined (see
+        :meth:`quarantined`) and recorded as failures; with
+        ``on_error="raise"`` (the default) the first quarantined build's
+        :class:`~repro.exec.errors.BuildError` is re-raised once the batch
+        settles, with ``"skip"`` the method returns normally and callers
+        read the damage from :meth:`drain_failures`.
+
+        Returns the specs whose builds ran *successfully* (first spec per
+        distinct build key, in input order).
         """
         ensure_builtins()
         distinct: Dict[str, ScenarioSpec] = {}
@@ -440,46 +622,45 @@ class Workspace:
             return []
         jobs = jobs if jobs is not None else (self.default_jobs or default_jobs())
         jobs = max(1, min(jobs, len(missing)))
+        policy = policy if policy is not None else self.retry
+        on_error = _coerce_on_error(on_error if on_error is not None else self.on_error)
+        chaos_payload = self.chaos.to_dict() if self.chaos is not None else None
+        tasks = [
+            TaskSpec(
+                key=key,
+                label=build_label(spec),
+                payload={
+                    "build": spec.build_dict(),
+                    "chaos": chaos_payload,
+                    "label": build_label(spec),
+                },
+            )
+            for key, spec in missing.items()
+        ]
 
-        executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
-        if jobs > 1:
-            try:
-                executor = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
-            except (OSError, PermissionError):
-                executor = None
-        if executor is not None:
-            worker_error: Optional[BaseException] = None
-            try:
-                with executor:
-                    futures = {
-                        executor.submit(
-                            _build_scheme_keyed, key, spec.build_dict()
-                        ): key
-                        for key, spec in missing.items()
-                    }
-                    for future in concurrent.futures.as_completed(futures):
-                        try:
-                            key, built = future.result()
-                        except concurrent.futures.process.BrokenProcessPool:
-                            raise
-                        except Exception as error:
-                            if worker_error is None:
-                                worker_error = error
-                            continue
-                        with self._lock:
-                            built = self._builds.setdefault(key, built)
-                        self._publish_baseline(missing[key], built)
-                if worker_error is not None:
-                    raise worker_error
-                return list(missing.values())
-            except concurrent.futures.process.BrokenProcessPool:
-                # The environment killed the pool (e.g. forbidden fork);
-                # whatever was published stays, the rest builds serially.
-                pass
+        def publish(key: str, built: Any) -> None:
+            with self._lock:
+                built = self._builds.setdefault(key, built)
+                self._quarantined.pop(key, None)
+            self._publish_baseline(missing[key], built)
 
-        for spec in missing.values():
-            self.build(spec)
-        return list(missing.values())
+        supervisor = PoolSupervisor(
+            _supervised_build, jobs=jobs, policy=policy, on_result=publish
+        )
+        report = supervisor.run(tasks)
+        self.last_report = report
+        failed = report.failed()
+        if failed:
+            with self._lock:
+                self._quarantined.update(failed)
+            for key, error in failed.items():
+                self._record_failure(FailureRecord.from_spec(missing[key], error))
+            if on_error == "raise":
+                for key in missing:  # first failure in input order
+                    if key in failed:
+                        raise failed[key]
+        succeeded = report.succeeded()
+        return [spec for key, spec in missing.items() if key in succeeded]
 
     # -- scenario execution ------------------------------------------------
 
@@ -504,26 +685,41 @@ class Workspace:
             return self._scenarios.setdefault(spec_hash, result)
 
     def run_scenarios(self, specs: Sequence[ScenarioSpec],
-                      jobs: Optional[int] = None) -> List[ScenarioResult]:
+                      jobs: Optional[int] = None, *,
+                      on_error: Optional[str] = None) -> List[ScenarioResult]:
         """Batch API: prewarm the distinct builds, then run every scenario.
 
         ``jobs=None`` falls back to the workspace's constructor default
-        (serial when that is unset too).
+        (serial when that is unset too).  With ``on_error="skip"`` a failing
+        scenario is dropped from the returned list and recorded (read the
+        records via :meth:`drain_failures`); the default ``"raise"``
+        re-raises the first failure.
         """
         specs = list(specs)
+        on_error = _coerce_on_error(on_error if on_error is not None else self.on_error)
         jobs = jobs if jobs is not None else (self.default_jobs or 1)
         if jobs > 1:
-            self.prewarm(specs, jobs=jobs)
-        return [self.run_scenario(spec) for spec in specs]
+            self.prewarm(specs, jobs=jobs, on_error=on_error)
+        results: List[ScenarioResult] = []
+        for spec in specs:
+            try:
+                results.append(self.run_scenario(spec))
+            except Exception as error:
+                if on_error != "skip":
+                    raise
+                self._record_failure(FailureRecord.from_spec(spec, error))
+        return results
 
     # -- seed sweeps ---------------------------------------------------------
 
-    def run_sweep(self, spec: ScenarioSpec, jobs: Optional[int] = None) -> SweepResult:
+    def run_sweep(self, spec: ScenarioSpec, jobs: Optional[int] = None, *,
+                  on_error: Optional[str] = None) -> SweepResult:
         """Run one scenario across its seed sweep and aggregate the results."""
-        return self.run_sweeps([spec], jobs=jobs)[0]
+        return self.run_sweeps([spec], jobs=jobs, on_error=on_error)[0]
 
     def run_sweeps(self, specs: Sequence[ScenarioSpec],
-                   jobs: Optional[int] = None) -> List[SweepResult]:
+                   jobs: Optional[int] = None, *,
+                   on_error: Optional[str] = None) -> List[SweepResult]:
         """Monte-Carlo batch API: one :class:`SweepResult` per input spec.
 
         Every spec is expanded into its per-seed scenarios (a spec without
@@ -531,21 +727,44 @@ class Workspace:
         builds of *all* sweeps are prewarmed through the shared process pool
         in one batch, and the per-seed results are aggregated into
         mean/std/CI records per metric leaf.
+
+        With ``on_error="skip"`` failed seeds are dropped: the sweep result
+        aggregates the surviving seeds with an honest ``n`` and lists the
+        dropped ones in ``SweepResult.failures``.  A sweep losing *every*
+        seed raises :class:`~repro.exec.errors.ScenarioError` (there is
+        nothing to aggregate).  The default ``"raise"`` re-raises the first
+        per-seed failure.
         """
         specs = list(specs)
+        on_error = _coerce_on_error(on_error if on_error is not None else self.on_error)
         expanded = [spec.expand_seeds() for spec in specs]
         jobs = jobs if jobs is not None else (self.default_jobs or 1)
         if jobs > 1:
             self.prewarm(
-                [single for group in expanded for single in group], jobs=jobs
+                [single for group in expanded for single in group], jobs=jobs,
+                on_error=on_error,
             )
         sweeps: List[SweepResult] = []
         for spec, group in zip(specs, expanded):
             start = time.time()
-            results = [self.run_scenario(single) for single in group]
-            seeds = tuple(single.seed for single in group)
+            results: List[ScenarioResult] = []
+            seeds: List[int] = []
+            failures: List[FailureRecord] = []
+            for single in group:
+                try:
+                    results.append(self.run_scenario(single))
+                    seeds.append(single.seed)
+                except Exception as error:
+                    if on_error != "skip":
+                        raise
+                    record = FailureRecord.from_spec(single, error)
+                    failures.append(record)
+                    self._record_failure(record)
             sweeps.append(
-                _build_sweep_result(spec, seeds, results, time.time() - start)
+                _build_sweep_result(
+                    spec, tuple(seeds), results, time.time() - start,
+                    failures=failures,
+                )
             )
         return sweeps
 

@@ -1,0 +1,77 @@
+"""Resilient execution layer: retries, pool supervision, fault injection.
+
+This package gives the :class:`~repro.api.workspace.Workspace` an execution
+core that survives worker crashes, hangs and flaky builds deterministically:
+
+* :mod:`repro.exec.errors` — the picklable error taxonomy
+  (:class:`BuildError`, :class:`ScenarioError`, :class:`FailureRecord`);
+* :mod:`repro.exec.retry` — :class:`RetryPolicy` (attempts, per-build
+  timeout, exponential backoff with seed-deterministic jitter) and the
+  in-process :func:`execute_with_retries` loop;
+* :mod:`repro.exec.supervisor` — :class:`PoolSupervisor`, which respawns a
+  crashed ``ProcessPoolExecutor``, re-queues in-flight builds, kills hung
+  workers past the timeout and quarantines poison builds instead of tearing
+  the batch down;
+* :mod:`repro.exec.chaos` — :class:`FaultPlan`, the deterministic
+  fault-injection schedule (installable per workspace or via the
+  ``REPRO_CHAOS`` environment variable) that the chaos test-suite uses to
+  exercise every recovery path.
+
+Logging: the package logs on the ``repro`` hierarchy
+(``logging.getLogger("repro")``); recovery events that used to be invisible
+— serial degradation after a pool-creation failure or a
+``BrokenProcessPool``, retries, quarantines — are emitted as warnings, so
+long-running callers can see (and alert on) degraded sweeps.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.exec.chaos import (
+    CHAOS_ENV_VAR,
+    CHAOS_EXIT_CODE,
+    ChaosCrash,
+    ChaosFailure,
+    FaultPlan,
+)
+from repro.exec.errors import (
+    BuildError,
+    ExecError,
+    FailureRecord,
+    ScenarioError,
+    format_cause,
+)
+from repro.exec.retry import RetryPolicy, deterministic_uniform, execute_with_retries
+from repro.exec.supervisor import (
+    PoolSupervisor,
+    SupervisorReport,
+    TaskOutcome,
+    TaskSpec,
+)
+
+#: The package-wide logger root; library best practice: handlers are the
+#: application's business, so attach a NullHandler only.
+logger = logging.getLogger("repro")
+logger.addHandler(logging.NullHandler())
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "CHAOS_EXIT_CODE",
+    "BuildError",
+    "ChaosCrash",
+    "ChaosFailure",
+    "ExecError",
+    "FailureRecord",
+    "FaultPlan",
+    "PoolSupervisor",
+    "RetryPolicy",
+    "ScenarioError",
+    "SupervisorReport",
+    "TaskOutcome",
+    "TaskSpec",
+    "deterministic_uniform",
+    "execute_with_retries",
+    "format_cause",
+    "logger",
+]

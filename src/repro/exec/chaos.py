@@ -1,0 +1,205 @@
+"""Deterministic fault injection for exercising the resilient execution layer.
+
+A :class:`FaultPlan` decides — as a pure function of its seed, a build's
+human label and the attempt number — whether a given build attempt should
+fail (raise), hang (sleep) or crash its worker process (``os._exit``).  The
+same plan therefore injects the same faults on every run, which is what lets
+the chaos test-suite assert exact recovery behaviour (and bit-identical
+results versus a fault-free run).
+
+Plans install in two ways:
+
+* ``Workspace(chaos=FaultPlan(...))`` — explicit, used by the chaos tests;
+* the ``REPRO_CHAOS`` environment variable — picked up by every workspace
+  whose constructor does not pass ``chaos``; spelled either as JSON or as a
+  compact ``key=value`` list, e.g. ``REPRO_CHAOS="fail=0.3,seed=7"``.
+
+Besides the probabilistic knobs (``fail_rate``/``hang_rate``/``crash_rate``)
+a plan carries deterministic counters (``fail_first``/``hang_first``/
+``crash_first``: the first N attempts of every matched build misbehave),
+which the tests use to script exact scenarios such as "fails twice, then
+succeeds" or "crashes the worker on the first attempt".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.exec.retry import deterministic_uniform
+
+#: Exit status used when a chaos crash kills a worker process.
+CHAOS_EXIT_CODE = 37
+
+#: Environment variable holding a serialized fault plan.
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+
+class ChaosFailure(RuntimeError):
+    """An injected build failure (the ``fail`` fault kind)."""
+
+
+class ChaosCrash(RuntimeError):
+    """A ``crash`` fault decided outside a pool worker.
+
+    ``os._exit`` in the main process would take the whole interpreter (and
+    the test runner) down, so in-process execution converts crash decisions
+    into this ordinary exception — the serial path treats a would-be crash
+    as a plain failure.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected faults.
+
+    Attributes:
+        fail_rate: Probability an attempt raises :class:`ChaosFailure`.
+        hang_rate: Probability an attempt sleeps ``hang_s`` before building.
+        crash_rate: Probability an attempt kills its worker process.
+        fail_first / hang_first / crash_first: The first N attempts of every
+            matched build deterministically misbehave (checked before the
+            probabilistic draws; 0 disables).
+        hang_s: How long a hang sleeps.
+        match: Substring filter on the build label
+            (``benchmark:scheme:seed<N>``); empty matches everything.
+        seed: Seed of the probabilistic draws (label- and attempt-keyed, so
+            every decision is reproducible).
+    """
+
+    fail_rate: float = 0.0
+    hang_rate: float = 0.0
+    crash_rate: float = 0.0
+    fail_first: int = 0
+    hang_first: int = 0
+    crash_first: int = 0
+    hang_s: float = 30.0
+    match: str = ""
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("fail_rate", "hang_rate", "crash_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        for name in ("fail_first", "hang_first", "crash_first"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.hang_s < 0:
+            raise ValueError(f"hang_s must be >= 0, got {self.hang_s}")
+
+    # -- decisions ---------------------------------------------------------
+
+    def matches(self, label: str) -> bool:
+        return self.match in label
+
+    def decide(self, label: str, attempt: int) -> Optional[str]:
+        """The fault kind injected for this build attempt (None = healthy).
+
+        Pure: equal ``(plan, label, attempt)`` always decide equally.
+        Crash wins over hang wins over fail when several trigger at once.
+        """
+        if not self.matches(label):
+            return None
+        for kind, first, rate in (
+            ("crash", self.crash_first, self.crash_rate),
+            ("hang", self.hang_first, self.hang_rate),
+            ("fail", self.fail_first, self.fail_rate),
+        ):
+            if attempt <= first:
+                return kind
+            if rate > 0.0 and deterministic_uniform(
+                self.seed, label, attempt, kind
+            ) < rate:
+                return kind
+        return None
+
+    def inject(self, label: str, attempt: int) -> None:
+        """Apply the decided fault (if any) for this build attempt.
+
+        ``crash`` hard-exits the current process **only** when running inside
+        a spawned worker (``multiprocessing.parent_process()`` is set); in
+        the main process it degrades to :class:`ChaosCrash`.
+        """
+        kind = self.decide(label, attempt)
+        if kind is None:
+            return
+        if kind == "hang":
+            time.sleep(self.hang_s)
+            return
+        if kind == "crash":
+            if multiprocessing.parent_process() is not None:
+                os._exit(CHAOS_EXIT_CODE)
+            raise ChaosCrash(
+                f"chaos crash injected into {label} (attempt {attempt}; "
+                "in-process, degraded to an exception)"
+            )
+        raise ChaosFailure(
+            f"chaos failure injected into {label} (attempt {attempt})"
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - fields)
+        if unknown:
+            raise TypeError(
+                f"unknown FaultPlan field(s): {', '.join(unknown)}; "
+                f"accepted: {', '.join(sorted(fields))}"
+            )
+        return cls(**dict(data))
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a plan from JSON or a compact ``key=value[,key=value...]``.
+
+        Examples: ``{"fail_rate": 0.3, "seed": 7}``,
+        ``fail=0.3,crash=0.05,seed=7,match=c17``.  The compact spelling
+        accepts the rate keys with or without the ``_rate`` suffix.
+        """
+        text = text.strip()
+        if not text:
+            raise ValueError("empty fault-plan specification")
+        if text.startswith("{"):
+            import json
+
+            return cls.from_dict(json.loads(text))
+        aliases = {"fail": "fail_rate", "hang": "hang_rate", "crash": "crash_rate"}
+        ints = {"fail_first", "hang_first", "crash_first", "seed"}
+        data: Dict[str, Any] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"bad fault-plan entry {part!r} (expected key=value)"
+                )
+            key = aliases.get(key.strip(), key.strip())
+            value = value.strip()
+            if key == "match":
+                data[key] = value
+            elif key in ints:
+                data[key] = int(value)
+            else:
+                data[key] = float(value)
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> Optional["FaultPlan"]:
+        """The plan configured via ``REPRO_CHAOS`` (None when unset/empty)."""
+        environ = environ if environ is not None else os.environ
+        text = environ.get(CHAOS_ENV_VAR, "").strip()
+        if not text:
+            return None
+        return cls.parse(text)

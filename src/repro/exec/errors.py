@@ -1,0 +1,164 @@
+"""Structured, picklable error taxonomy for the execution layer.
+
+Every error that can cross a process boundary (pool workers → supervisor)
+or survive a sweep (``SweepResult.failures``) is represented here:
+
+* :class:`ExecError` — common base; carries structured context as plain
+  attributes and pickles faithfully (keyword-constructed exceptions need an
+  explicit ``__reduce__``: the default pickle path replays ``args`` only).
+* :class:`BuildError` — one artefact build that exhausted its retry budget
+  (spec build key, human label, attempt count, original error type and the
+  formatted traceback text — never the live traceback object, which does
+  not pickle).
+* :class:`ScenarioError` — a scenario/sweep-level failure (spec hash, the
+  per-seed :class:`FailureRecord` list that led to it).
+* :class:`FailureRecord` — the plain-data record of one failed build or
+  scenario seed, carried by ``SweepResult.failures`` and the CLI's JSON
+  failure summary.
+"""
+
+from __future__ import annotations
+
+import traceback as _traceback
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Type
+
+
+def format_cause(error: BaseException) -> str:
+    """The formatted traceback text of ``error`` (picklable, log-ready).
+
+    Worker exceptions unpickled by ``concurrent.futures`` lose their remote
+    traceback object but keep the textual copy the pool attaches via the
+    exception's ``__cause__``; include it when present.
+    """
+    parts = _traceback.format_exception(type(error), error, error.__traceback__)
+    cause = getattr(error, "__cause__", None)
+    if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+        parts.append(str(cause))
+    return "".join(parts)
+
+
+def _rebuild_exec_error(cls: Type["ExecError"], args: Tuple[Any, ...],
+                        state: Dict[str, Any]) -> "ExecError":
+    error = cls.__new__(cls)
+    Exception.__init__(error, *args)
+    error.__dict__.update(state)
+    return error
+
+
+class ExecError(Exception):
+    """Base of the execution-layer taxonomy: structured and picklable."""
+
+    def __reduce__(self):
+        # Keyword attributes do not survive the default (args-only) pickle
+        # path — rebuild from args + __dict__ instead.
+        return (_rebuild_exec_error, (type(self), self.args, dict(self.__dict__)))
+
+
+class BuildError(ExecError):
+    """One artefact build failed for good (retry budget exhausted).
+
+    Attributes:
+        build_key: Canonical build hash of the failing spec.
+        label: Human-readable build label (``benchmark:scheme:seed<N>``).
+        attempts: How many attempts were consumed before giving up.
+        cause_type: Class name of the underlying error (``TimeoutError``,
+            ``ChaosFailure``, ``BrokenProcessPool``, ...).
+        traceback_text: Formatted traceback of the last attempt (empty when
+            the worker died without raising, e.g. a hard crash).
+    """
+
+    def __init__(self, message: str, *, build_key: str = "", label: str = "",
+                 attempts: int = 0, cause_type: str = "",
+                 traceback_text: str = ""):
+        super().__init__(message)
+        self.build_key = build_key
+        self.label = label
+        self.attempts = attempts
+        self.cause_type = cause_type
+        self.traceback_text = traceback_text
+
+    @classmethod
+    def from_exception(cls, error: BaseException, *, build_key: str = "",
+                       label: str = "", attempts: int = 0) -> "BuildError":
+        if isinstance(error, cls):
+            return error
+        return cls(
+            f"build {label or build_key[:12]} failed after {attempts} "
+            f"attempt(s): {type(error).__name__}: {error}",
+            build_key=build_key, label=label, attempts=attempts,
+            cause_type=type(error).__name__,
+            traceback_text=format_cause(error),
+        )
+
+
+class ScenarioError(ExecError):
+    """A scenario (or a whole sweep) failed beyond recovery.
+
+    Attributes:
+        spec_hash: Content hash of the failing scenario spec.
+        failures: The per-seed :class:`FailureRecord` list that caused it
+            (empty for failures that never reached the seed loop).
+    """
+
+    def __init__(self, message: str, *, spec_hash: str = "",
+                 failures: Optional[List["FailureRecord"]] = None):
+        super().__init__(message)
+        self.spec_hash = spec_hash
+        self.failures = list(failures or [])
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """Plain-data record of one failed build or scenario seed.
+
+    Carried in ``SweepResult.failures`` and serialised verbatim into the
+    CLI's machine-readable failure summary; every field is JSON-compatible.
+    """
+
+    kind: str  # "build" | "scenario"
+    benchmark: str = ""
+    scheme: str = ""
+    seed: int = 0
+    spec_hash: str = ""
+    build_key: str = ""
+    attempts: int = 0
+    error_type: str = ""
+    message: str = ""
+    traceback_text: str = field(default="", repr=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FailureRecord":
+        return cls(**dict(data))
+
+    @classmethod
+    def from_spec(cls, spec: Any, error: BaseException,
+                  kind: str = "scenario") -> "FailureRecord":
+        """Record for ``spec`` (a ScenarioSpec) failing with ``error``."""
+        attempts = getattr(error, "attempts", 0)
+        if isinstance(error, BuildError):
+            kind = "build"
+        return cls(
+            kind=kind,
+            benchmark=spec.benchmark,
+            scheme=spec.scheme,
+            seed=spec.seed,
+            spec_hash=spec.content_hash(),
+            build_key=getattr(error, "build_key", ""),
+            attempts=attempts,
+            error_type=(
+                error.cause_type if isinstance(error, BuildError) and error.cause_type
+                else type(error).__name__
+            ),
+            message=str(error),
+            traceback_text=getattr(error, "traceback_text", "") or format_cause(error),
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.kind} failure: {self.benchmark}:{self.scheme}:seed{self.seed} "
+            f"[{self.error_type} after {self.attempts} attempt(s)] {self.message}"
+        )

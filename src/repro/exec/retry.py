@@ -1,0 +1,117 @@
+"""Retry policy: bounded attempts, per-build timeouts, deterministic backoff.
+
+The policy is declarative data (frozen dataclass, JSON round-trip) so it can
+ride along CLI flags and service requests.  Backoff jitter is **seed
+deterministic**: the delay for ``(key, attempt)`` is a pure function of the
+policy and those two values — two runs of the same sweep back off
+identically, which keeps chaos-suite runs reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, TypeVar
+
+from repro.exec.errors import BuildError
+
+T = TypeVar("T")
+
+
+def deterministic_uniform(*parts: Any) -> float:
+    """A uniform [0, 1) draw derived purely from ``parts`` (no global RNG)."""
+    payload = "|".join(str(part) for part in parts).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the execution layer tries before quarantining a build.
+
+    Attributes:
+        max_attempts: Total attempts per build (1 = no retries).
+        timeout_s: Per-build wall-clock timeout.  Enforced by the pool
+            supervisor (the hung worker is killed and the build re-queued);
+            the serial path cannot interrupt a running build and ignores it.
+        backoff_s: Base delay before the second attempt.
+        backoff_factor: Multiplier per further attempt (exponential).
+        backoff_max_s: Upper bound on any single delay.
+        jitter: Relative jitter width (0.25 → ±12.5 %), drawn
+            deterministically from ``(key, attempt)``.
+    """
+
+    max_attempts: int = 1
+    timeout_s: Optional[float] = None
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.backoff_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def retries_left(self, attempts: int) -> bool:
+        return attempts < self.max_attempts
+
+    def delay_s(self, key: str, attempts: int) -> float:
+        """Backoff delay after ``attempts`` failed attempts of build ``key``.
+
+        Deterministic: equal ``(policy, key, attempts)`` → equal delay.
+        """
+        if attempts < 1:
+            return 0.0
+        base = min(
+            self.backoff_max_s,
+            self.backoff_s * self.backoff_factor ** (attempts - 1),
+        )
+        if self.jitter == 0.0:
+            return base
+        offset = deterministic_uniform(key, attempts, "backoff") - 0.5
+        return base * (1.0 + self.jitter * offset)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RetryPolicy":
+        return cls(**dict(data))
+
+
+def execute_with_retries(fn: Callable[[int], T], *, key: str = "",
+                         label: str = "",
+                         policy: Optional[RetryPolicy] = None,
+                         sleep: Callable[[float], None] = time.sleep) -> T:
+    """Run ``fn(attempt)`` under ``policy``, serially, in this process.
+
+    This is the in-process twin of the pool supervisor's retry loop, used by
+    ``Workspace.build`` (serial builds, cache misses after a quarantine) so
+    flaky builds recover identically with and without a pool.  ``timeout_s``
+    is not enforced here — a running build cannot be interrupted in-process.
+
+    Raises :class:`BuildError` carrying the attempt count and the last
+    traceback once ``policy.max_attempts`` is exhausted.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return fn(attempts)
+        except Exception as error:
+            if not policy.retries_left(attempts):
+                raise BuildError.from_exception(
+                    error, build_key=key, label=label, attempts=attempts
+                ) from error
+            sleep(policy.delay_s(key or label, attempts))

@@ -182,8 +182,11 @@ def make_experiment_sweep(scenarios_fn):
     metric leaf) per scenario; render with :func:`sweep_report_table`.
     """
     def sweep(seeds: Any, config: Optional[ExperimentConfig] = None,
-              jobs: Optional[int] = None) -> List["SweepResult"]:
-        return run_scenario_sweep(scenarios_fn(config), seeds, jobs=jobs)
+              jobs: Optional[int] = None,
+              on_error: Optional[str] = None) -> List["SweepResult"]:
+        return run_scenario_sweep(
+            scenarios_fn(config), seeds, jobs=jobs, on_error=on_error
+        )
 
     sweep.__doc__ = (
         "Monte-Carlo sweep of this experiment's scenario grid across "
@@ -194,7 +197,8 @@ def make_experiment_sweep(scenarios_fn):
 
 
 def run_scenario_sweep(specs: Iterable[ScenarioSpec], seeds: Any,
-                       jobs: Optional[int] = None) -> List["SweepResult"]:
+                       jobs: Optional[int] = None,
+                       on_error: Optional[str] = None) -> List["SweepResult"]:
     """Run a scenario grid as a Monte-Carlo sweep over ``seeds``.
 
     Every spec is re-declared with the given seed set (a list of ints or a
@@ -202,9 +206,12 @@ def run_scenario_sweep(specs: Iterable[ScenarioSpec], seeds: Any,
     :meth:`repro.api.Workspace.run_sweeps`, which batches the per-seed builds
     through the prewarm process pool.  Returns one aggregated
     :class:`~repro.api.SweepResult` per input spec.
+
+    ``on_error="skip"`` drops failed seeds into ``SweepResult.failures``
+    and aggregates the survivors (``None`` keeps the workspace default).
     """
     swept = [spec.with_seeds(seeds) for spec in specs]
-    return default_workspace().run_sweeps(swept, jobs=jobs)
+    return default_workspace().run_sweeps(swept, jobs=jobs, on_error=on_error)
 
 
 def sweep_report_table(sweeps: List["SweepResult"], title: str) -> "Table":
@@ -213,6 +220,10 @@ def sweep_report_table(sweeps: List["SweepResult"], title: str) -> "Table":
     One row per metric leaf: layout/compare metrics are labelled
     ``metric[layout].leaf``, attack-scope metrics
     ``metric[layout@M<split>:attack].leaf``.
+
+    Partial sweeps (``on_error="skip"`` dropped seeds) are surfaced
+    honestly: the Seeds column shows ``surviving/requested`` and every
+    dropped seed gets a ``failure[seed=N]`` row naming the error.
     """
     from repro.api.workspace import flatten_sweep_aggregate
     from repro.utils.tables import Table
@@ -223,18 +234,23 @@ def sweep_report_table(sweeps: List["SweepResult"], title: str) -> "Table":
                  "Mean", "Std", "CI95", "Per-seed"],
     )
 
+    def seeds_cell(sweep) -> Any:
+        if not sweep.failures:
+            return len(sweep.seeds)
+        return f"{len(sweep.seeds)}/{len(sweep.seeds) + len(sweep.failures)}"
+
     def add_rows(sweep, label_prefix: str, aggregate: Any) -> None:
         for leaf, stat in flatten_sweep_aggregate(aggregate, label_prefix):
             per_seed = stat.get("per_seed", [])
             if "mean" not in stat:  # non-numeric leaf: report values only
                 table.add_row([
-                    sweep.benchmark, sweep.scheme, len(sweep.seeds), leaf,
+                    sweep.benchmark, sweep.scheme, seeds_cell(sweep), leaf,
                     None, None, None,
                     " ".join(str(v) for v in per_seed),
                 ])
                 continue
             table.add_row([
-                sweep.benchmark, sweep.scheme, len(sweep.seeds), leaf,
+                sweep.benchmark, sweep.scheme, seeds_cell(sweep), leaf,
                 round(stat["mean"], 4), round(stat["std"], 4),
                 round(stat["ci95"], 4),
                 " ".join(format(float(v), ".4g") for v in per_seed),
@@ -252,6 +268,14 @@ def sweep_report_table(sweeps: List["SweepResult"], title: str) -> "Table":
                     f":{record.attack}]",
                     aggregate,
                 )
+        for failure in sweep.failures:
+            table.add_row([
+                sweep.benchmark, sweep.scheme, seeds_cell(sweep),
+                f"failure[seed={failure.seed}]",
+                None, None, None,
+                f"{failure.error_type} after {failure.attempts} attempt(s): "
+                f"{failure.message}",
+            ])
     return table
 
 
@@ -281,11 +305,14 @@ def default_prewarm_jobs() -> int:
 
 def prewarm_artifacts(benchmarks: Iterable[str],
                       config: Optional[ExperimentConfig] = None,
-                      jobs: Optional[int] = None) -> List[str]:
+                      jobs: Optional[int] = None,
+                      on_error: Optional[str] = None) -> List[str]:
     """Build the protection artefacts of ``benchmarks`` in parallel.
 
-    Legacy shim over :meth:`repro.api.Workspace.prewarm`.  Returns the list
-    of benchmark names that were actually built (deduplicated, input order).
+    Legacy shim over :meth:`repro.api.Workspace.prewarm` (which retries,
+    respawns crashed pools and quarantines poison builds under the
+    workspace's retry policy).  Returns the list of benchmark names that
+    were successfully built (deduplicated, input order).
     """
     config = config if config is not None else ExperimentConfig()
     ordered: List[ScenarioSpec] = []
@@ -294,7 +321,7 @@ def prewarm_artifacts(benchmarks: Iterable[str],
         if benchmark not in seen:
             seen.add(benchmark)
             ordered.append(_proposed_spec(benchmark, config))
-    built = default_workspace().prewarm(ordered, jobs=jobs)
+    built = default_workspace().prewarm(ordered, jobs=jobs, on_error=on_error)
     return [spec.benchmark for spec in built]
 
 

@@ -154,6 +154,8 @@ def build_config(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    import logging
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="reduced benchmark sets")
     parser.add_argument("--only", nargs="*", default=None,
@@ -163,8 +165,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes for the artefact prewarm "
                              f"(default {default_prewarm_jobs()}; 1 = serial)")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="retry a failed artefact build up to N times "
+                             "(total attempts N+1; default 0)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-build timeout in seconds for the parallel "
+                             "prewarm (hung workers are killed and re-queued)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="tolerate failed prewarm builds (the failing "
+                             "experiment still errors when it consumes them)")
     args = parser.parse_args(argv)
 
+    logging.basicConfig(format="%(levelname)s %(name)s: %(message)s")
+    from repro.api.cli import apply_resilience_flags
+
+    apply_resilience_flags(args)
     config = build_config(args)
     jobs = args.jobs if args.jobs is not None else default_prewarm_jobs()
     results = run_all(config, args.only, jobs=jobs)
