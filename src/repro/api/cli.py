@@ -36,6 +36,7 @@ or sweep died for good; structured JSON on stderr), ``2`` usage errors,
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import logging
 import sys
@@ -192,6 +193,11 @@ def _run_payload(payload: Any, args: argparse.Namespace) -> str:
     specs = load_specs(payload)
     if args.seeds:
         specs = [spec.with_seeds(args.seeds) for spec in specs]
+    if getattr(args, "netlist_seed", None) is not None:
+        specs = [
+            dataclasses.replace(spec, netlist_seed=args.netlist_seed)
+            for spec in specs
+        ]
     for spec in specs:
         spec.validate()
     workspace = default_workspace()
@@ -348,6 +354,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="Monte-Carlo seed sweep: '0:8' (range), "
                                  "'1,4,9' (list) or '7'; experiment targets "
                                  "report per-seed values plus mean/std/CI")
+    run_parser.add_argument("--netlist-seed", type=int, default=None,
+                            help="pin benchmark generation to one seed so a "
+                                 "--seeds sweep places/routes the same "
+                                 "netlist per seed (enables the seed-batched "
+                                 "build engine; scenario-spec payloads only)")
     run_parser.add_argument("--jobs", "-j", type=int, default=None,
                             help="worker processes for the artefact prewarm")
     run_parser.add_argument("--retries", type=int, default=None,

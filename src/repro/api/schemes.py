@@ -15,7 +15,9 @@ scenario runs are bit-identical with the legacy entry points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.api.registry import DEFENSES
 from repro.core.flow import ProtectionConfig, ProtectionResult, protect
@@ -29,8 +31,8 @@ from repro.defenses.routing_blockage import routing_blockage_defense
 from repro.defenses.routing_perturbation import routing_perturbation_defense
 from repro.defenses.synergistic import synergistic_defense
 from repro.layout.floorplan import build_floorplan
-from repro.layout.layout import Layout, build_layout
-from repro.layout.placer import PlacerConfig
+from repro.layout.layout import Layout, build_layout, build_layout_batch
+from repro.layout.placer import PlacerConfig, place_batch
 from repro.layout.router import RouterConfig
 from repro.netlist.netlist import Netlist
 
@@ -173,6 +175,128 @@ def build_original(netlist: Netlist, params: OriginalParams, seed: int) -> Schem
         seed=seed,
     )
     return SchemeBuild(scheme="original", layout=layout, baseline=layout)
+
+
+def build_original_batch(netlist: Netlist, params: OriginalParams,
+                         seeds: List[int]) -> List[SchemeBuild]:
+    """Seed-batched :func:`build_original`: one shared netlist skeleton.
+
+    Bit-exact per seed with ``build_original(netlist, params, seed)`` — same
+    floorplan derivation, same placer/router configs — but placement and
+    routing for the whole batch run as one array program
+    (:func:`repro.layout.layout.build_layout_batch`).  This is the build the
+    workspace sweep path amortizes Monte-Carlo sweeps with.
+
+    Returns:
+        One :class:`SchemeBuild` per seed, in ``seeds`` order.
+    """
+    floorplan_util = (
+        params.floorplan_utilization
+        if params.floorplan_utilization is not None else params.utilization
+    )
+    floorplan = build_floorplan(netlist, floorplan_util)
+    layouts = build_layout_batch(
+        netlist,
+        list(seeds),
+        floorplan=floorplan,
+        utilization=params.utilization,
+        placer_config=PlacerConfig(),
+        router_config=RouterConfig(),
+    )
+    return [
+        SchemeBuild(scheme="original", layout=layout, baseline=layout)
+        for layout in layouts
+    ]
+
+
+def batch_placement_deltas(netlist: Netlist, params: OriginalParams,
+                           seeds: List[int]) -> Dict[str, Any]:
+    """Worker half of the seed-batched pool protocol: compact placements.
+
+    Runs :func:`repro.layout.placer.place_batch` for ``seeds`` and returns
+    per-seed *coordinate deltas* instead of full artefacts: the shared
+    netlist/floorplan skeleton stays implicit (the parent regenerates it from
+    the same inputs), so the only bytes crossing the process boundary per
+    seed are three flat arrays — gate indices in placement insertion order
+    plus x/y coordinates.  ``float64`` arrays round-trip through pickle
+    bit-exactly, so :func:`builds_from_placement_deltas` reconstructs
+    placements bit-identical to the worker's.
+
+    Returns:
+        ``{"seeds", "orders", "xs", "ys"}`` with one entry per seed.
+    """
+    floorplan_util = (
+        params.floorplan_utilization
+        if params.floorplan_utilization is not None else params.utilization
+    )
+    floorplan = build_floorplan(netlist, floorplan_util)
+    placements = place_batch(
+        netlist, list(seeds), floorplan, params.utilization, PlacerConfig()
+    )
+    gate_index = {name: i for i, name in enumerate(netlist.gates)}
+    orders: List[np.ndarray] = []
+    xs: List[np.ndarray] = []
+    ys: List[np.ndarray] = []
+    for placement in placements:
+        count = len(placement.gate_positions)
+        orders.append(np.fromiter(
+            (gate_index[name] for name in placement.gate_positions),
+            dtype=np.int64, count=count,
+        ))
+        xs.append(np.fromiter(
+            (point.x for point in placement.gate_positions.values()),
+            dtype=np.float64, count=count,
+        ))
+        ys.append(np.fromiter(
+            (point.y for point in placement.gate_positions.values()),
+            dtype=np.float64, count=count,
+        ))
+    return {"seeds": list(seeds), "orders": orders, "xs": xs, "ys": ys}
+
+
+def builds_from_placement_deltas(netlist: Netlist, params: OriginalParams,
+                                 deltas: Dict[str, Any]) -> List[SchemeBuild]:
+    """Parent half of the seed-batched pool protocol.
+
+    Rebuilds each placement from its coordinate delta (same dict insertion
+    order, same float bits), then routes the whole chunk as one batch with a
+    shared routing skeleton.  Output is bit-identical per seed to
+    :func:`build_original` on the same netlist.
+    """
+    from repro.layout.geometry import Point
+    from repro.layout.placer import PlacementResult, _io_assignment
+    from repro.layout.router import route_batch
+
+    floorplan_util = (
+        params.floorplan_utilization
+        if params.floorplan_utilization is not None else params.utilization
+    )
+    floorplan = build_floorplan(netlist, floorplan_util)
+    _, visible_ports = _io_assignment(netlist, floorplan)
+    gate_names = list(netlist.gates)
+    placements: List[PlacementResult] = []
+    for seed, order, x, y in zip(
+        deltas["seeds"], deltas["orders"], deltas["xs"], deltas["ys"]
+    ):
+        positions = {
+            gate_names[index]: Point(px, py)
+            for index, px, py in zip(order.tolist(), x.tolist(), y.tolist())
+        }
+        placements.append(PlacementResult(
+            floorplan, positions, dict(visible_ports), PlacerConfig(seed=seed)
+        ))
+    routings = route_batch(netlist, placements, RouterConfig())
+    builds: List[SchemeBuild] = []
+    for seed, placement, routing in zip(deltas["seeds"], placements, routings):
+        layout = Layout(
+            name=f"{netlist.name}_original",
+            netlist=netlist,
+            placement=placement,
+            routing=routing,
+            metadata={"utilization": params.utilization, "seed": seed},
+        )
+        builds.append(SchemeBuild(scheme="original", layout=layout, baseline=layout))
+    return builds
 
 
 @dataclass(frozen=True)

@@ -152,6 +152,14 @@ class ScenarioSpec:
             it through :meth:`repro.api.Workspace.run_sweeps`, which batches
             the per-seed builds through the prewarm process pool and
             aggregates the results (``seed`` is ignored while sweeping).
+        netlist_seed: Seed for benchmark *generation* only.  ``None`` (the
+            default) follows ``seed`` — the historical behaviour, where every
+            sweep member builds a freshly generated netlist.  Pinning it
+            decouples the design from the Monte-Carlo axis: every sweep
+            member then places/routes the *same* netlist with a different
+            ``seed``, which is what lets the build engine batch a sweep's
+            seeds through one shared netlist skeleton
+            (:func:`repro.layout.placer.place_batch`).
     """
 
     benchmark: str
@@ -165,9 +173,17 @@ class ScenarioSpec:
     num_patterns: int = 1024
     seed: int = 0
     seeds: Optional[Tuple[int, ...]] = None
+    netlist_seed: Optional[int] = None
+
+    @property
+    def effective_netlist_seed(self) -> int:
+        """The seed benchmark generation actually uses."""
+        return self.seed if self.netlist_seed is None else self.netlist_seed
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "seeds", _normalize_seeds(self.seeds))
+        if self.netlist_seed is not None:
+            object.__setattr__(self, "netlist_seed", int(self.netlist_seed))
         object.__setattr__(self, "scheme_params", _freeze_params(self.scheme_params))
         layouts = tuple(
             _LAYOUT_ALIASES.get(str(layout), str(layout)) for layout in self.layouts
@@ -213,6 +229,7 @@ class ScenarioSpec:
             "num_patterns": self.num_patterns,
             "seed": self.seed,
             "seeds": list(self.seeds) if self.seeds is not None else None,
+            "netlist_seed": self.netlist_seed,
         }
 
     @classmethod
@@ -264,6 +281,7 @@ class ScenarioSpec:
             "num_patterns": self.num_patterns,
             "seed": self.seed,
             "seeds": list(self.seeds) if self.seeds is not None else None,
+            "netlist_seed": self.netlist_seed,
         }
 
     def canonical_json(self) -> str:
@@ -318,6 +336,7 @@ class ScenarioSpec:
             "seed": canonical["seed"],
             "scheme": canonical["scheme"],
             "scheme_params": canonical["scheme_params"],
+            "netlist_seed": canonical["netlist_seed"],
         }
 
     def build_key(self) -> str:

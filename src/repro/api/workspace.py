@@ -40,6 +40,8 @@ faults returns results bit-identical to a fault-free run.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import logging
 import os
 import threading
@@ -57,6 +59,7 @@ from repro.exec.retry import RetryPolicy, execute_with_retries
 from repro.exec.supervisor import PoolSupervisor, SupervisorReport, TaskSpec
 from repro.netlist.netlist import Netlist
 from repro.sm.split import extract_feol
+from repro.utils.degrade import warn_once
 
 _log = logging.getLogger(__name__)
 
@@ -339,8 +342,11 @@ def _build_sweep_result(spec: ScenarioSpec, seeds: Tuple[int, ...],
 def _build_scheme(payload: Mapping[str, Any]):
     """Build one scheme from a plain payload (module-level: pickles for pools)."""
     ensure_builtins()
+    netlist_seed = payload.get("netlist_seed")
+    if netlist_seed is None:
+        netlist_seed = payload["seed"]
     netlist = get_benchmark(
-        payload["benchmark"], seed=payload["seed"], scale=payload["scale"]
+        payload["benchmark"], seed=netlist_seed, scale=payload["scale"]
     )
     entry = DEFENSES.get(payload["scheme"])
     params = entry.make_params(payload["scheme_params"])
@@ -369,6 +375,71 @@ def _supervised_build(key: str, payload: Mapping[str, Any], attempt: int):
     if chaos:
         FaultPlan.from_dict(chaos).inject(payload["label"], attempt)
     return _build_scheme(payload["build"])
+
+
+def _supervised_batch_build(key: str, payload: Mapping[str, Any], attempt: int):
+    """Pool-supervisor task: place one seed-batch chunk, return coordinate deltas.
+
+    The chunk shares one netlist/floorplan skeleton across its seeds
+    (:func:`repro.api.schemes.batch_placement_deltas`) and ships back only
+    per-seed coordinate arrays — the parent reconstructs the placements and
+    routes the chunk as one batch.
+
+    Chaos faults are injected *per seed* against each seed's own build label
+    with the chunk's attempt number, so a fault plan targeting one seed hits
+    exactly that seed in batched and unbatched runs alike.  A fault that
+    raises removes only its seed from the chunk (reported in ``"failed"``
+    for the parent to retry alone); a fault that crashes kills the worker
+    mid-batch, exactly like a real native-code crash would.
+    """
+    ensure_builtins()
+    chaos = payload.get("chaos")
+    plan = FaultPlan.from_dict(chaos) if chaos else None
+    survivors: List[int] = []
+    failed: List[Dict[str, Any]] = []
+    for seed, label in zip(payload["seeds"], payload["labels"]):
+        if plan is not None:
+            try:
+                plan.inject(label, attempt)
+            except Exception as exc:  # noqa: BLE001 - injected fault
+                failed.append({
+                    "seed": seed, "label": label,
+                    "error_type": type(exc).__name__, "error": str(exc),
+                })
+                continue
+        survivors.append(seed)
+    deltas = None
+    if survivors:
+        from repro.api.schemes import batch_placement_deltas
+
+        build = payload["build"]
+        netlist = get_benchmark(
+            build["benchmark"], seed=build["netlist_seed"], scale=build["scale"]
+        )
+        entry = DEFENSES.get(build["scheme"])
+        params = entry.make_params(build["scheme_params"])
+        deltas = batch_placement_deltas(netlist, params, survivors)
+    return {"deltas": deltas, "failed": failed}
+
+
+def _supervised_task(key: str, payload: Mapping[str, Any], attempt: int):
+    """Pool dispatcher: route a task to the single-build or batch-chunk path."""
+    if isinstance(payload, Mapping) and payload.get("kind") == "batch":
+        return _supervised_batch_build(key, payload, attempt)
+    return _supervised_build(key, payload, attempt)
+
+
+def _split_chunks(members: Sequence[Any], jobs: int) -> List[List[Any]]:
+    """Split a batch group into at most ``jobs`` contiguous, near-even chunks."""
+    n_chunks = max(1, min(len(members), jobs))
+    size, extra = divmod(len(members), n_chunks)
+    chunks: List[List[Any]] = []
+    start = 0
+    for index in range(n_chunks):
+        stop = start + size + (1 if index < extra else 0)
+        chunks.append(list(members[start:stop]))
+        start = stop
+    return chunks
 
 
 def default_jobs() -> int:
@@ -511,7 +582,9 @@ class Workspace:
         def attempt_build(attempt: int):
             if self.chaos is not None:
                 self.chaos.inject(label, attempt)
-            netlist = self.netlist(spec.benchmark, seed=spec.seed, scale=spec.scale)
+            netlist = self.netlist(
+                spec.benchmark, seed=spec.effective_netlist_seed, scale=spec.scale
+            )
             return entry.fn(netlist, params, spec.seed)
 
         try:
@@ -545,7 +618,7 @@ class Workspace:
             params["floorplan_utilization"] = floorplan_util
         original_spec = ScenarioSpec(
             benchmark=spec.benchmark, scheme="original", scheme_params=params,
-            scale=spec.scale, seed=spec.seed,
+            scale=spec.scale, seed=spec.seed, netlist_seed=spec.netlist_seed,
         )
         original = built.protection.original_layout
         with self._lock:
@@ -580,6 +653,134 @@ class Workspace:
             scale=scale,
             seed=config.seed,
         )
+
+    # -- seed batching -----------------------------------------------------
+
+    @staticmethod
+    def _batch_groups(missing: Mapping[str, ScenarioSpec]
+                      ) -> List[List[Tuple[str, ScenarioSpec]]]:
+        """Partition batchable builds into same-netlist-same-params groups.
+
+        A build is batchable when its scheme is ``original`` and its spec
+        pins ``netlist_seed`` — every member of such a group then places and
+        routes the *same* netlist, differing only in the placement ``seed``,
+        which is exactly what :func:`repro.layout.placer.place_batch`
+        amortizes.  Groups of one stay on the plain single-build path (a
+        batch of one gains nothing over the per-seed vectorized kernels).
+        """
+        groups: Dict[str, List[Tuple[str, ScenarioSpec]]] = {}
+        for key, spec in missing.items():
+            if spec.scheme != "original" or spec.netlist_seed is None:
+                continue
+            shared = {
+                k: v for k, v in spec.build_dict().items() if k != "seed"
+            }
+            group_key = json.dumps(shared, sort_keys=True, separators=(",", ":"))
+            groups.setdefault(group_key, []).append((key, spec))
+        return [members for members in groups.values() if len(members) >= 2]
+
+    @staticmethod
+    def _single_task(key: str, spec: ScenarioSpec,
+                     chaos_payload: Optional[Dict[str, Any]],
+                     start_attempt: int = 0) -> TaskSpec:
+        return TaskSpec(
+            key=key,
+            label=build_label(spec),
+            payload={
+                "build": spec.build_dict(),
+                "chaos": chaos_payload,
+                "label": build_label(spec),
+            },
+            start_attempt=start_attempt,
+        )
+
+    def _publish_chunk(self, meta: Mapping[str, Any],
+                       value: Mapping[str, Any]) -> List[str]:
+        """Publish the surviving builds of one completed seed-batch chunk.
+
+        The worker shipped coordinate deltas; the placements are rebuilt
+        bit-exactly here and the chunk is routed as one batch over a shared
+        skeleton.  Returns the build keys that were published.
+        """
+        deltas = value.get("deltas")
+        if not deltas or not deltas["seeds"]:
+            return []
+        from repro.api.schemes import builds_from_placement_deltas
+
+        build = meta["build"]
+        netlist = self.netlist(
+            build["benchmark"], seed=build["netlist_seed"], scale=build["scale"]
+        )
+        entry = DEFENSES.get(build["scheme"])
+        params = entry.make_params(build["scheme_params"])
+        builds = builds_from_placement_deltas(netlist, params, deltas)
+        key_by_seed = {spec.seed: key for key, spec in meta["members"]}
+        keys: List[str] = []
+        with self._lock:
+            for seed, built in zip(deltas["seeds"], builds):
+                key = key_by_seed[seed]
+                self._builds.setdefault(key, built)
+                self._quarantined.pop(key, None)
+                keys.append(key)
+        return keys
+
+    def _prewarm_batches(self, specs: Sequence[ScenarioSpec]) -> None:
+        """In-process seed batching for serial sweeps (``jobs <= 1``).
+
+        Builds every batchable group of ``specs`` through
+        :func:`repro.api.schemes.build_original_batch` — one shared netlist
+        skeleton per group, bit-exact per seed with the individual builds the
+        serial sweep loop would otherwise run.  With a fault plan installed
+        the batched path is skipped (chaos injects per *build attempt*,
+        which an amortized batch would bypass) and the degradation is warned
+        once, per the never-degrade-silently contract.  A group whose batch
+        build fails falls back to the per-seed path, which reports the
+        failure through the normal retry/quarantine machinery.
+        """
+        ensure_builtins()
+        distinct: Dict[str, ScenarioSpec] = {}
+        for spec in specs:
+            distinct.setdefault(spec.build_key(), spec)
+        with self._lock:
+            missing = {
+                key: spec for key, spec in distinct.items()
+                if key not in self._builds
+            }
+        groups = self._batch_groups(missing)
+        if not groups:
+            return
+        if self.chaos is not None:
+            warn_once(
+                _log, "workspace.prewarm_batches.chaos",
+                "a fault plan is installed; serial sweep builds degrade to "
+                "the per-seed path (chaos injects per build attempt, which "
+                "seed batching would bypass)",
+            )
+            return
+        from repro.api.schemes import build_original_batch
+
+        for members in groups:
+            first = members[0][1]
+            netlist = self.netlist(
+                first.benchmark, seed=first.effective_netlist_seed,
+                scale=first.scale,
+            )
+            entry = DEFENSES.get(first.scheme)
+            params = entry.make_params(first.scheme_params)
+            seeds = [spec.seed for _key, spec in members]
+            try:
+                builds = build_original_batch(netlist, params, seeds)
+            except Exception as error:  # noqa: BLE001 - per-seed path reports it
+                _log.warning(
+                    "seed-batched build of %s (seeds %s) failed (%s: %s); "
+                    "seeds fall back to individual builds",
+                    build_label(first), seeds, type(error).__name__, error,
+                )
+                continue
+            with self._lock:
+                for (key, _spec), built in zip(members, builds):
+                    self._builds.setdefault(key, built)
+                    self._quarantined.pop(key, None)
 
     # -- parallel prewarm --------------------------------------------------
 
@@ -625,31 +826,132 @@ class Workspace:
         policy = policy if policy is not None else self.retry
         on_error = _coerce_on_error(on_error if on_error is not None else self.on_error)
         chaos_payload = self.chaos.to_dict() if self.chaos is not None else None
-        tasks = [
-            TaskSpec(
-                key=key,
-                label=build_label(spec),
-                payload={
-                    "build": spec.build_dict(),
-                    "chaos": chaos_payload,
-                    "label": build_label(spec),
-                },
-            )
-            for key, spec in missing.items()
-        ]
+
+        # Batchable builds (same netlist, same params, different seed) travel
+        # as seed-batch chunks: the worker places the whole chunk over one
+        # shared skeleton and ships back coordinate deltas instead of full
+        # artefacts; everything else stays a one-build-per-task single.
+        groups = self._batch_groups(missing)
+        chunk_meta: Dict[str, Dict[str, Any]] = {}
+        batched_keys: set = set()
+        tasks: List[TaskSpec] = []
+        for members in groups:
+            first = members[0][1]
+            shared = {
+                k: v for k, v in first.build_dict().items() if k != "seed"
+            }
+            group_tag = hashlib.sha256(
+                json.dumps(shared, sort_keys=True, separators=(",", ":"))
+                .encode("utf-8")
+            ).hexdigest()[:16]
+            batched_keys.update(key for key, _spec in members)
+            for index, chunk in enumerate(_split_chunks(members, jobs)):
+                task_key = f"seedbatch:{group_tag}:{index}"
+                seeds = [spec.seed for _key, spec in chunk]
+                scale = f"@{first.scale:g}" if first.scale is not None else ""
+                tasks.append(TaskSpec(
+                    key=task_key,
+                    label=(
+                        f"{first.benchmark}{scale}:{first.scheme}:"
+                        f"seeds[{','.join(map(str, seeds))}]"
+                    ),
+                    payload={
+                        "kind": "batch",
+                        "build": shared,
+                        "seeds": seeds,
+                        "labels": [build_label(spec) for _key, spec in chunk],
+                        "chaos": chaos_payload,
+                    },
+                ))
+                chunk_meta[task_key] = {"members": chunk, "build": shared}
+        tasks.extend(
+            self._single_task(key, spec, chaos_payload)
+            for key, spec in missing.items() if key not in batched_keys
+        )
+
+        published: set = set()
 
         def publish(key: str, built: Any) -> None:
+            if key in chunk_meta:
+                try:
+                    published.update(self._publish_chunk(chunk_meta[key], built))
+                except Exception:  # noqa: BLE001 - rebuilt below, seed by seed
+                    _log.warning(
+                        "reconstructing seed-batch chunk %s failed; its seeds "
+                        "fall back to individual builds", key, exc_info=True,
+                    )
+                return
             with self._lock:
                 built = self._builds.setdefault(key, built)
                 self._quarantined.pop(key, None)
+            published.add(key)
             self._publish_baseline(missing[key], built)
 
         supervisor = PoolSupervisor(
-            _supervised_build, jobs=jobs, policy=policy, on_result=publish
+            _supervised_task, jobs=jobs, policy=policy, on_result=publish
         )
         report = supervisor.run(tasks)
-        self.last_report = report
-        failed = report.failed()
+
+        # Phase 2 — retry isolation: a seed that failed inside a chunk (or
+        # rode a quarantined chunk down) re-runs *alone* as a plain single
+        # task, continuing the attempt budget it already consumed.  Innocent
+        # members of a poison chunk each get one isolated attempt, so they
+        # publish while the culprit quarantines by itself.
+        outcomes = {
+            key: outcome for key, outcome in report.outcomes.items()
+            if key not in chunk_meta
+        }
+        retries: List[TaskSpec] = []
+        crash_suspected = False
+        for task_key, meta in chunk_meta.items():
+            outcome = report.outcomes[task_key]
+            if outcome.ok:
+                failed_seeds = {
+                    entry["seed"] for entry in outcome.value.get("failed", ())
+                }
+            else:
+                failed_seeds = None  # whole chunk quarantined
+                crash_suspected = True
+            for key, spec in meta["members"]:
+                if key in published:
+                    continue
+                if failed_seeds is None:
+                    # One isolated attempt each: the quarantined chunk already
+                    # spent the budget, but the culprit is unknown.
+                    start = max(0, policy.max_attempts - 1)
+                elif spec.seed in failed_seeds:
+                    start = outcome.attempts
+                else:
+                    # Not this seed's failure (reconstruction error) — refund.
+                    start = max(0, outcome.attempts - 1)
+                retries.append(
+                    self._single_task(key, spec, chaos_payload, start_attempt=start)
+                )
+        if retries:
+            # A quarantined chunk hides a worker-killing culprit among the
+            # retries.  A pool crash charges *every* in-flight task an
+            # attempt (the culprit is indistinguishable), so run these
+            # one-in-flight in a real worker: innocent members then spend
+            # their single isolated attempt alone and a crash charges only
+            # the crasher.
+            retry_jobs = 1 if crash_suspected else max(1, min(jobs, len(retries)))
+            retry_supervisor = PoolSupervisor(
+                _supervised_task, jobs=retry_jobs,
+                policy=policy, on_result=publish, isolate=crash_suspected,
+            )
+            retry_report = retry_supervisor.run(retries)
+            outcomes.update(retry_report.outcomes)
+            report.respawns += retry_report.respawns
+            report.degraded_serial = (
+                report.degraded_serial or retry_report.degraded_serial
+            )
+
+        merged = SupervisorReport(
+            outcomes=outcomes, respawns=report.respawns,
+            degraded_serial=report.degraded_serial,
+        )
+        self.last_report = merged
+        failed = merged.failed()
         if failed:
             with self._lock:
                 self._quarantined.update(failed)
@@ -659,7 +961,7 @@ class Workspace:
                 for key in missing:  # first failure in input order
                     if key in failed:
                         raise failed[key]
-        succeeded = report.succeeded()
+        succeeded = published | set(merged.succeeded())
         return [spec for key, spec in missing.items() if key in succeeded]
 
     # -- scenario execution ------------------------------------------------
@@ -744,6 +1046,12 @@ class Workspace:
                 [single for group in expanded for single in group], jobs=jobs,
                 on_error=on_error,
             )
+        else:
+            # Serial sweeps still amortize batchable builds in-process; the
+            # per-seed loop below finds them warm in the cache.
+            self._prewarm_batches(
+                [single for group in expanded for single in group]
+            )
         sweeps: List[SweepResult] = []
         for spec, group in zip(specs, expanded):
             start = time.time()
@@ -781,6 +1089,7 @@ class Workspace:
         baseline_spec = ScenarioSpec(
             benchmark=spec.benchmark, scheme="original",
             scheme_params=baseline_params, scale=spec.scale, seed=spec.seed,
+            netlist_seed=spec.netlist_seed,
         )
         return self.build(baseline_spec).layout
 

@@ -47,6 +47,12 @@ class TaskSpec:
     key: str
     payload: Any
     label: str = ""
+    #: Attempts already charged to this work before the batch started.  The
+    #: first execution runs as attempt ``start_attempt + 1`` and the retry
+    #: budget continues from there — used when work is re-dispatched under a
+    #: new key (e.g. a seed pulled out of a failed batch task retries alone
+    #: without resetting its attempt count).
+    start_attempt: int = 0
 
     def display(self) -> str:
         return self.label or self.key[:12]
@@ -87,7 +93,7 @@ class _TaskState:
 
     def __init__(self, task: TaskSpec):
         self.task = task
-        self.attempts = 0
+        self.attempts = task.start_attempt
         self.not_before = 0.0
 
 
@@ -97,7 +103,8 @@ class PoolSupervisor:
     Args:
         fn: Module-level picklable callable ``fn(key, payload, attempt)``;
             its return value is the task's result.
-        jobs: Worker-process count; ``1`` executes serially in-process.
+        jobs: Worker-process count; ``1`` executes serially in-process
+            (unless ``isolate`` asks for a real worker).
         policy: Retry/timeout/backoff policy (default: single attempt).
         on_result: Called as ``on_result(key, value)`` in the supervisor
             process the moment a task succeeds (publish-as-you-go).
@@ -105,14 +112,20 @@ class PoolSupervisor:
             degrading to serial execution.
         poll_s: Poll interval of the wait loop (also the granularity of
             timeout enforcement).
+        isolate: With ``jobs=1``, run tasks one at a time in a *worker
+            process* instead of in-process — for batches suspected to
+            contain a worker-killer, where a crash must charge only the
+            task that crashed and must not take the supervisor down.
     """
 
     def __init__(self, fn: Callable[..., Any], *, jobs: int,
                  policy: Optional[RetryPolicy] = None,
                  on_result: Optional[Callable[[str, Any], None]] = None,
-                 max_respawns: int = 3, poll_s: float = 0.05):
+                 max_respawns: int = 3, poll_s: float = 0.05,
+                 isolate: bool = False):
         self.fn = fn
         self.jobs = max(1, jobs)
+        self.isolate = isolate
         self.policy = policy if policy is not None else RetryPolicy()
         self.on_result = on_result
         self.max_respawns = max_respawns
@@ -128,7 +141,7 @@ class PoolSupervisor:
         queue = collections.deque(task.key for task in tasks)
         if not queue:
             return report
-        if self.jobs == 1:
+        if self.jobs == 1 and not self.isolate:
             self._run_serial(queue, states, report)
             return report
         executor = self._make_pool()

@@ -28,7 +28,7 @@ from repro.layout.arrays import (
     placement_arrays,
 )
 from repro.layout.floorplan import Floorplan, build_floorplan
-from repro.layout.placer import PlacementResult, place
+from repro.layout.placer import PlacementResult, place, place_batch
 from repro.layout.router import (
     RoutedConnection,
     RoutedNet,
@@ -36,6 +36,7 @@ from repro.layout.router import (
     Segment,
     Via,
     route,
+    route_batch,
 )
 from repro.layout.layout import Layout, build_layout
 from repro.layout.def_io import export_def, split_def
@@ -52,12 +53,14 @@ __all__ = [
     "build_floorplan",
     "PlacementResult",
     "place",
+    "place_batch",
     "RoutedConnection",
     "RoutedNet",
     "RouterConfig",
     "Segment",
     "Via",
     "route",
+    "route_batch",
     "Layout",
     "build_layout",
     "export_def",

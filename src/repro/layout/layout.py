@@ -24,8 +24,8 @@ import numpy as np
 from repro.layout.arrays import LayoutArrays
 from repro.layout.floorplan import Floorplan, build_floorplan
 from repro.layout.geometry import Point
-from repro.layout.placer import PlacementResult, PlacerConfig, place
-from repro.layout.router import RoutedNet, RouterConfig, route
+from repro.layout.placer import PlacementResult, PlacerConfig, place, place_batch
+from repro.layout.router import RoutedNet, RouterConfig, route, route_batch
 from repro.netlist.cells import NUM_METAL_LAYERS
 from repro.netlist.netlist import Netlist
 
@@ -233,3 +233,41 @@ def build_layout(netlist: Netlist, name: Optional[str] = None,
         routing=routing,
         metadata={"utilization": utilization, "seed": seed},
     )
+
+
+def build_layout_batch(netlist: Netlist, seeds: List[int],
+                       name: Optional[str] = None,
+                       utilization: float = 0.70,
+                       floorplan: Optional[Floorplan] = None,
+                       placer_config: Optional[PlacerConfig] = None,
+                       router_config: Optional[RouterConfig] = None,
+                       min_layer_per_net: Optional[Mapping[str, int]] = None
+                       ) -> List[Layout]:
+    """Run the unprotected flow once per seed as a single batched program.
+
+    Semantically ``[build_layout(netlist, ..., placer_config=
+    replace(placer_config, seed=s), seed=s) for s in seeds]`` — and bit-exact
+    with it seed by seed — but placement and routing share one netlist
+    skeleton across the whole batch (:func:`repro.layout.placer.place_batch`,
+    :func:`repro.layout.router.route_batch`).  The ``seed`` field of
+    ``placer_config`` is overridden per member.
+
+    Returns:
+        One routed :class:`Layout` per seed, in ``seeds`` order.
+    """
+    if not seeds:
+        return []
+    if floorplan is None:
+        floorplan = build_floorplan(netlist, utilization)
+    placements = place_batch(netlist, seeds, floorplan, utilization, placer_config)
+    routings = route_batch(netlist, placements, router_config, min_layer_per_net)
+    return [
+        Layout(
+            name=name if name is not None else f"{netlist.name}_original",
+            netlist=netlist,
+            placement=placement,
+            routing=routing,
+            metadata={"utilization": utilization, "seed": seed},
+        )
+        for seed, placement, routing in zip(seeds, placements, routings)
+    ]

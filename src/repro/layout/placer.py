@@ -42,7 +42,8 @@ ISCAS-85 circuits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import logging
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -50,7 +51,10 @@ import numpy as np
 from repro.layout.floorplan import Floorplan, build_floorplan
 from repro.layout.geometry import Point
 from repro.netlist.netlist import Netlist
+from repro.utils.degrade import warn_once
 from repro.utils.rng import make_rng, spawn_numpy_seed
+
+logger = logging.getLogger("repro.layout")
 
 
 @dataclass
@@ -136,6 +140,78 @@ def _adjacency(netlist: Netlist, max_fanout: int) -> Dict[str, List[str]]:
     return adjacency
 
 
+def _dfs_starts(netlist: Netlist, gate_names: List[str]) -> List[str]:
+    """DFS start order: gates driven by primary inputs first (deduplicated,
+    natural left-to-right flow), then every gate as a fallback start."""
+    start_candidates: List[str] = []
+    for pi in netlist.primary_inputs:
+        net = netlist.nets.get(pi)
+        if net is None:
+            continue
+        start_candidates.extend(sink for sink, _pin in net.sinks)
+    seen_start: Set[str] = set()
+    starts = [g for g in start_candidates
+              if not (g in seen_start or seen_start.add(g))]
+    starts.extend(gate_names)
+    return starts
+
+
+def _rotated_adjacency(adjacency: Dict[str, List[str]], netlist_name: str,
+                       seed: int) -> Dict[str, List[str]]:
+    """Seed-rotated copy of a shared adjacency structure.
+
+    A small seed-dependent rotation of each adjacency list makes distinct
+    seeds explore distinct (equally good) orderings while staying
+    deterministic for a given seed.  The input lists are left untouched so
+    one adjacency build can serve a whole seed batch; the RNG consumption
+    order (dict order, one draw per multi-neighbour list) is identical to
+    rotating in place.
+    """
+    rng = make_rng(seed, "placer_order", netlist_name)
+    rotated: Dict[str, List[str]] = {}
+    for name, neighbours in adjacency.items():
+        if len(neighbours) > 1:
+            offset = rng.randrange(len(neighbours))
+            rotated[name] = neighbours[offset:] + neighbours[:offset]
+        else:
+            rotated[name] = neighbours
+    return rotated
+
+
+def _dfs_walk(adjacency: Dict[str, List[str]], gate_names: List[str],
+              starts: List[str]) -> List[str]:
+    """The iterative DFS traversal over a (rotated) adjacency structure."""
+    remaining: Set[str] = set(gate_names)
+    order: List[str] = []
+    empty: List[str] = []
+    for start in starts:
+        if start not in remaining:
+            continue
+        stack = [start]
+        pop = stack.pop
+        extend = stack.extend
+        append = order.append
+        discard = remaining.remove
+        get = adjacency.get
+        while stack:
+            gate = pop()
+            if gate not in remaining:
+                continue
+            discard(gate)
+            append(gate)
+            # Reverse so the first neighbour is processed next (LIFO stack).
+            # Visited neighbours are pushed too and skipped at pop — the
+            # traversal order is identical to filtering before the push (a
+            # neighbour taken between push and pop is skipped either way).
+            extend(reversed(get(gate, empty)))
+    # Any stragglers (isolated gates) in deterministic order.
+    for gate in gate_names:
+        if gate in remaining:
+            order.append(gate)
+            remaining.remove(gate)
+    return order
+
+
 def _dfs_ordering(netlist: Netlist, max_fanout: int, seed: int) -> List[str]:
     """Order gates by iterative DFS over the connectivity graph.
 
@@ -144,47 +220,12 @@ def _dfs_ordering(netlist: Netlist, max_fanout: int, seed: int) -> List[str]:
     given seed.
     """
     adjacency = _adjacency(netlist, max_fanout)
-    rng = make_rng(seed, "placer_order", netlist.name)
-    # A small seed-dependent rotation of each adjacency list makes distinct
-    # seeds explore distinct (equally good) orderings while staying
-    # deterministic for a given seed.
-    for neighbours in adjacency.values():
-        if len(neighbours) > 1:
-            offset = rng.randrange(len(neighbours))
-            neighbours[:] = neighbours[offset:] + neighbours[:offset]
     gate_names = list(netlist.gates.keys())
-    remaining: Set[str] = set(gate_names)
-    order: List[str] = []
-    # Start from gates driven by primary inputs for a natural left-to-right flow.
-    start_candidates = []
-    for pi in netlist.primary_inputs:
-        net = netlist.nets.get(pi)
-        if net is None:
-            continue
-        start_candidates.extend(sink for sink, _pin in net.sinks)
-    seen_start = set()
-    starts = [g for g in start_candidates if not (g in seen_start or seen_start.add(g))]
-    starts.extend(gate_names)
-
-    for start in starts:
-        if start not in remaining:
-            continue
-        stack = [start]
-        while stack:
-            gate = stack.pop()
-            if gate not in remaining:
-                continue
-            remaining.remove(gate)
-            order.append(gate)
-            neighbours = [n for n in adjacency.get(gate, []) if n in remaining]
-            # Reverse so the first neighbour is processed next (LIFO stack).
-            stack.extend(reversed(neighbours))
-    # Any stragglers (isolated gates) in deterministic order.
-    for gate in gate_names:
-        if gate in remaining:
-            order.append(gate)
-            remaining.remove(gate)
-    return order
+    return _dfs_walk(
+        _rotated_adjacency(adjacency, netlist.name, seed),
+        gate_names,
+        _dfs_starts(netlist, gate_names),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -339,99 +380,152 @@ def _row_partition(x: np.ndarray, row_of: np.ndarray,
     return order, sorted_rows, starts
 
 
-def place(netlist: Netlist, floorplan: Optional[Floorplan] = None,
-          utilization: float = 0.70,
-          config: Optional[PlacerConfig] = None) -> PlacementResult:
-    """Place ``netlist`` and return legal cell positions.
+# ---------------------------------------------------------------------------
+# Seed-batched build path
+# ---------------------------------------------------------------------------
 
-    This is the vectorized build path: refinement, spreading and row packing
-    run on coordinate columns.  Bit-exact with :func:`place_reference` at
-    equal seed (see the module docstring for the equivalence argument).
 
-    Args:
-        netlist: Design to place.
-        floorplan: Floorplan to place into; built from the netlist and
-            ``utilization`` when omitted.  Supplying the *original* design's
-            floorplan when placing the protected design reproduces the
-            paper's zero-die-area-overhead setup.
-        utilization: Used only when ``floorplan`` is None.
-        config: Placer knobs.
+class _PlacerSkeleton:
+    """Seed-independent placement state shared by a whole seed batch.
 
-    Returns:
-        A :class:`PlacementResult` with legalized gate positions and fixed
-        I/O positions on the boundary.
+    Everything the placer computes that does not depend on the seed lives
+    here, built once per (netlist, floorplan, config shape): the I/O
+    assignment, the connectivity adjacency (rotated per seed, never mutated),
+    the serpentine fold coordinates (the fold *positions* depend only on the
+    rank, the seed only permutes which gate lands on which rank), the width
+    column and the attraction-net centroid structure.
     """
-    config = config if config is not None else PlacerConfig()
-    if floorplan is None:
-        floorplan = build_floorplan(netlist, utilization)
 
-    gate_names = list(netlist.gates.keys())
-    n = len(gate_names)
-
-    # --- 1. I/O assignment -------------------------------------------------
-    port_positions, visible_ports = _io_assignment(netlist, floorplan)
-    if n == 0:
-        return PlacementResult(floorplan, {}, visible_ports, config)
-
-    # --- 2. Connectivity-driven initial ordering on a serpentine curve -----
-    ordering = _initial_ordering(netlist, gate_names, config)
-    gate_index = {name: i for i, name in enumerate(gate_names)}
-
-    num_rows = floorplan.num_rows
-    cells_per_row = int(np.ceil(n / num_rows))
-    row_pitch = floorplan.row_height_um
-    die = floorplan.die
-
-    # One batched pass over the rank columns replaces the per-gate fold loop.
-    rank_gate = np.fromiter(
-        (gate_index[name] for name in ordering), dtype=np.int64, count=n
-    )
-    ranks = np.arange(n, dtype=np.int64)
-    rank_rows = np.minimum(ranks // cells_per_row, num_rows - 1)
-    frac = ((ranks - rank_rows * cells_per_row) + 0.5) / cells_per_row
-    odd = (rank_rows % 2) == 1
-    frac[odd] = 1.0 - frac[odd]
-    x = np.empty(n)
-    y = np.empty(n)
-    x[rank_gate] = die.x_min + frac * die.width
-    y[rank_gate] = die.y_min + (rank_rows + 0.5) * row_pitch
-
-    # --- 3. Centroid refinement with interleaved spreading ------------------
-    def spread(x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        order_y = np.argsort(y, kind="stable")
-        row_of = np.empty(n, dtype=np.int64)
-        row_of[order_y] = np.minimum(ranks // cells_per_row, num_rows - 1)
-        order, sorted_rows, starts = _row_partition(x, row_of, num_rows)
-        counts = np.diff(starts)
-        pos = ranks - starts[sorted_rows]
-        frac = (pos + 0.5) / counts[sorted_rows]
-        new_x = np.empty(n)
-        new_y = np.empty(n)
-        new_x[order] = die.x_min + frac * die.width
-        new_y[order] = die.y_min + (sorted_rows + 0.5) * row_pitch
-        return new_x, new_y, row_of
-
-    columns: Optional[_CentroidColumns] = None
-    if config.refinement_rounds > 0 and config.iterations_per_round > 0:
-        net_members, net_fixed = _attraction_nets(
-            netlist, gate_index, port_positions, config.max_fanout_for_attraction
+    def __init__(self, netlist: Netlist, floorplan: Floorplan,
+                 config: PlacerConfig):
+        self.netlist = netlist
+        self.floorplan = floorplan
+        self.config = config
+        self.gate_names = list(netlist.gates.keys())
+        self.n = len(self.gate_names)
+        self.gate_index = {name: i for i, name in enumerate(self.gate_names)}
+        self.port_positions, self.visible_ports = _io_assignment(netlist, floorplan)
+        self._adjacency: Optional[Dict[str, List[str]]] = None
+        self._starts: Optional[List[str]] = None
+        self._columns: Optional[_CentroidColumns] = None
+        if self.n == 0:
+            return
+        n = self.n
+        self.num_rows = floorplan.num_rows
+        self.cells_per_row = int(np.ceil(n / self.num_rows))
+        self.row_pitch = floorplan.row_height_um
+        self.die = floorplan.die
+        self.ranks = np.arange(n, dtype=np.int64)
+        self.rank_rows = np.minimum(
+            self.ranks // self.cells_per_row, self.num_rows - 1
         )
-        columns = _CentroidColumns(net_members, net_fixed, n)
+        frac = ((self.ranks - self.rank_rows * self.cells_per_row) + 0.5) \
+            / self.cells_per_row
+        odd = (self.rank_rows % 2) == 1
+        frac[odd] = 1.0 - frac[odd]
+        # Fold positions by rank — identical expressions to the reference's
+        # per-gate fold; the seed only decides which gate takes which rank.
+        self.fold_x = self.die.x_min + frac * self.die.width
+        self.fold_y = self.die.y_min + (self.rank_rows + 0.5) * self.row_pitch
+        self.widths = np.array(
+            [netlist.gates[name].cell.width_um for name in self.gate_names]
+        )
 
-    row_of = None
-    for _round in range(config.refinement_rounds):
-        for _it in range(config.iterations_per_round):
-            x, y = columns.step(x, y, config.damping)
-        x, y, row_of = spread(x, y)
-    if row_of is None:
-        _, _, row_of = spread(x, y)
+    def ordering_ranks(self, seed: int) -> np.ndarray:
+        """``rank_gate`` for one seed: gate index at each ordering rank."""
+        config = self.config
+        if config.ordering == "dfs":
+            if self._adjacency is None:
+                self._adjacency = _adjacency(
+                    self.netlist, config.max_fanout_for_attraction
+                )
+                self._starts = _dfs_starts(self.netlist, self.gate_names)
+            ordering = _dfs_walk(
+                _rotated_adjacency(self._adjacency, self.netlist.name, seed),
+                self.gate_names, self._starts,
+            )
+        elif config.ordering == "insertion":
+            ordering = self.gate_names
+        else:
+            raise ValueError(f"unknown placer ordering {config.ordering!r}")
+        return np.fromiter(
+            (self.gate_index[name] for name in ordering),
+            dtype=np.int64, count=self.n,
+        )
 
-    # --- 4. Row legalization (pack by x order, scaled to fit) ----------------
-    widths = np.array([netlist.gates[name].cell.width_um for name in gate_names])
+    def centroid_columns(self) -> _CentroidColumns:
+        if self._columns is None:
+            net_members, net_fixed = _attraction_nets(
+                self.netlist, self.gate_index, self.port_positions,
+                self.config.max_fanout_for_attraction,
+            )
+            self._columns = _CentroidColumns(net_members, net_fixed, self.n)
+        return self._columns
+
+
+def _row_partition_batch(X: np.ndarray, row_of: np.ndarray,
+                         num_rows: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-seed :func:`_row_partition` over ``(n_seeds, n)`` coordinate rows.
+
+    One flat ``np.lexsort`` keyed (seed, row, x) reproduces each seed's
+    ``np.lexsort((x, row_of))`` exactly: grouping by seed first leaves the
+    per-seed (row, x) order untouched, and the stable tie-break on flat
+    position equals the per-seed tie-break on cell index.
+    """
+    n_seeds, n = X.shape
+    seed_ids = np.repeat(np.arange(n_seeds, dtype=np.int64), n)
+    order_flat = np.lexsort((X.ravel(), row_of.ravel(), seed_ids))
+    order = order_flat.reshape(n_seeds, n) - np.arange(n_seeds)[:, None] * n
+    sorted_rows = np.take_along_axis(row_of, order, axis=1)
+    counts = np.bincount(
+        (row_of + np.arange(n_seeds)[:, None] * num_rows).ravel(),
+        minlength=n_seeds * num_rows,
+    ).reshape(n_seeds, num_rows)
+    starts = np.concatenate(
+        (np.zeros((n_seeds, 1), dtype=np.int64), np.cumsum(counts, axis=1)),
+        axis=1,
+    )
+    return order, sorted_rows, starts
+
+
+def _spread_batch(X: np.ndarray, Y: np.ndarray, skeleton: _PlacerSkeleton
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rank-based spreading over ``(n_seeds, n)`` coordinate rows.
+
+    Per seed this is exactly the reference ``spread``: ``np.argsort`` along
+    the last axis applies the same stable sort to each row, and every
+    floating-point expression is elementwise, so batching over the leading
+    seed axis cannot change any seed's values.
+    """
+    n_seeds, n = X.shape
+    seed_idx = np.arange(n_seeds)[:, None]
+    order_y = np.argsort(Y, axis=1, kind="stable")
+    row_of = np.empty((n_seeds, n), dtype=np.int64)
+    row_of[seed_idx, order_y] = skeleton.rank_rows[None, :]
+    order, sorted_rows, starts = _row_partition_batch(
+        X, row_of, skeleton.num_rows
+    )
+    counts = np.diff(starts, axis=1)
+    pos = skeleton.ranks[None, :] - np.take_along_axis(starts, sorted_rows, axis=1)
+    frac = (pos + 0.5) / np.take_along_axis(counts, sorted_rows, axis=1)
+    new_x = np.empty((n_seeds, n))
+    new_y = np.empty((n_seeds, n))
+    die = skeleton.die
+    new_x[seed_idx, order] = die.x_min + frac * die.width
+    new_y[seed_idx, order] = die.y_min + (sorted_rows + 0.5) * skeleton.row_pitch
+    return new_x, new_y, row_of
+
+
+def _legalize_rows(order: np.ndarray, starts: np.ndarray,
+                   skeleton: _PlacerSkeleton) -> Dict[str, Point]:
+    """Row legalization for one seed (pack by x order, scaled to fit)."""
+    die = skeleton.die
+    floorplan = skeleton.floorplan
+    widths = skeleton.widths
+    gate_names = skeleton.gate_names
     row_width = die.width
-    order, _sorted_rows, starts = _row_partition(x, row_of, num_rows)
     gate_positions: Dict[str, Point] = {}
-    for row in range(num_rows):
+    for row in range(skeleton.num_rows):
         members = order[starts[row]:starts[row + 1]]
         count = len(members)
         if count == 0:
@@ -455,6 +549,12 @@ def place(netlist: Netlist, floorplan: Optional[Floorplan] = None,
             # A cell would spill past the die edge: replay the reference's
             # clamped scalar walk for this row (clamping alters every
             # subsequent cursor, so the closed form no longer applies).
+            warn_once(
+                logger, "placer.legalize.clamped_row",
+                "placer legalization degraded to the scalar clamped walk for "
+                "an over-full row (vectorized cursor chain does not apply); "
+                "results are unchanged, packing that row is just slower",
+            )
             cursor = die.x_min + gap
             for cell, width in zip(members.tolist(), scaled.tolist()):
                 pos_x = min(cursor, die.x_max - width)
@@ -463,8 +563,134 @@ def place(netlist: Netlist, floorplan: Optional[Floorplan] = None,
             continue
         for cell, pos_x in zip(members.tolist(), cursors.tolist()):
             gate_positions[gate_names[cell]] = Point(pos_x, row_y)
+    return gate_positions
 
-    return PlacementResult(floorplan, gate_positions, visible_ports, config)
+
+def _place_batch(netlist: Netlist, seeds: Sequence[int],
+                 floorplan: Optional[Floorplan], utilization: float,
+                 configs: Sequence[PlacerConfig]) -> List[PlacementResult]:
+    """Shared core of :func:`place` and :func:`place_batch`.
+
+    ``configs`` carries one config per seed; all must share the same shape
+    (ordering, refinement knobs) — only the ``seed`` field may differ, and
+    ``seeds[i]`` governs seed ``i``'s ordering.
+    """
+    shape = configs[0]
+    if floorplan is None:
+        floorplan = build_floorplan(netlist, utilization)
+    skeleton = _PlacerSkeleton(netlist, floorplan, shape)
+    if skeleton.n == 0:
+        return [
+            PlacementResult(floorplan, {}, dict(skeleton.visible_ports), config)
+            for config in configs
+        ]
+
+    n_seeds = len(seeds)
+    n = skeleton.n
+    seed_idx = np.arange(n_seeds)[:, None]
+
+    # --- 2. Connectivity-driven initial ordering on a serpentine curve -----
+    # One DFS per seed over the shared adjacency, then one batched scatter of
+    # the shared fold coordinates through each seed's rank permutation.
+    rank_gate = np.empty((n_seeds, n), dtype=np.int64)
+    for s, seed in enumerate(seeds):
+        rank_gate[s] = skeleton.ordering_ranks(seed)
+    X = np.empty((n_seeds, n))
+    Y = np.empty((n_seeds, n))
+    X[seed_idx, rank_gate] = skeleton.fold_x[None, :]
+    Y[seed_idx, rank_gate] = skeleton.fold_y[None, :]
+
+    # --- 3. Centroid refinement with interleaved spreading ------------------
+    columns: Optional[_CentroidColumns] = None
+    if shape.refinement_rounds > 0 and shape.iterations_per_round > 0:
+        columns = skeleton.centroid_columns()
+    row_of = None
+    for _round in range(shape.refinement_rounds):
+        for _it in range(shape.iterations_per_round):
+            # The centroid gather/scatter runs per seed on contiguous rows of
+            # the batch — literally the single-seed step on each row.
+            for s in range(n_seeds):
+                X[s], Y[s] = columns.step(X[s], Y[s], shape.damping)
+        X, Y, row_of = _spread_batch(X, Y, skeleton)
+    if row_of is None:
+        _, _, row_of = _spread_batch(X, Y, skeleton)
+
+    # --- 4. Row legalization (pack by x order, scaled to fit) ----------------
+    order, _sorted_rows, starts = _row_partition_batch(
+        X, row_of, skeleton.num_rows
+    )
+    return [
+        PlacementResult(
+            floorplan,
+            _legalize_rows(order[s], starts[s], skeleton),
+            dict(skeleton.visible_ports),
+            configs[s],
+        )
+        for s in range(n_seeds)
+    ]
+
+
+def place(netlist: Netlist, floorplan: Optional[Floorplan] = None,
+          utilization: float = 0.70,
+          config: Optional[PlacerConfig] = None) -> PlacementResult:
+    """Place ``netlist`` and return legal cell positions.
+
+    This is the vectorized build path: refinement, spreading and row packing
+    run on coordinate columns (a seed batch of one — see :func:`place_batch`).
+    Bit-exact with :func:`place_reference` at equal seed (see the module
+    docstring for the equivalence argument).
+
+    Args:
+        netlist: Design to place.
+        floorplan: Floorplan to place into; built from the netlist and
+            ``utilization`` when omitted.  Supplying the *original* design's
+            floorplan when placing the protected design reproduces the
+            paper's zero-die-area-overhead setup.
+        utilization: Used only when ``floorplan`` is None.
+        config: Placer knobs.
+
+    Returns:
+        A :class:`PlacementResult` with legalized gate positions and fixed
+        I/O positions on the boundary.
+    """
+    config = config if config is not None else PlacerConfig()
+    return _place_batch(
+        netlist, [config.seed], floorplan, utilization, [config]
+    )[0]
+
+
+def place_batch(netlist: Netlist, seeds: Sequence[int],
+                floorplan: Optional[Floorplan] = None,
+                utilization: float = 0.70,
+                config: Optional[PlacerConfig] = None) -> List[PlacementResult]:
+    """Place ``netlist`` once per seed, sharing all seed-independent work.
+
+    Semantically ``[place(netlist, floorplan, utilization,
+    replace(config, seed=s)) for s in seeds]`` — and bit-exact with it, seed
+    by seed — but the netlist adjacency, attraction-net structure, serpentine
+    fold coordinates and I/O assignment are built once, and the coordinate
+    math (fold scatter, spreading, row partition) runs on ``(n_seeds, n)``
+    arrays with the seed as the leading axis.  Only the DFS traversal, the
+    centroid gather/scatter and the final row packing remain per-seed.
+
+    Args:
+        netlist: Design to place (the same netlist for every seed).
+        seeds: Placer seeds, one batch member per entry (``config.seed`` is
+            overridden per member).
+        floorplan: Shared floorplan; built from the netlist and
+            ``utilization`` when omitted.
+        utilization: Used only when ``floorplan`` is None.
+        config: Placer knobs shared by the batch (the ``seed`` field is
+            replaced per member).
+
+    Returns:
+        One :class:`PlacementResult` per seed, in ``seeds`` order.
+    """
+    if not seeds:
+        return []
+    config = config if config is not None else PlacerConfig()
+    configs = [replace(config, seed=seed) for seed in seeds]
+    return _place_batch(netlist, list(seeds), floorplan, utilization, configs)
 
 
 def place_reference(netlist: Netlist, floorplan: Optional[Floorplan] = None,

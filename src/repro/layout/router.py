@@ -43,7 +43,9 @@ integer-derived, prior positions are reconstructed from the identical
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -53,6 +55,9 @@ from repro.layout.geometry import Point, manhattan
 from repro.layout.placer import PlacementResult
 from repro.netlist.cells import NUM_METAL_LAYERS
 from repro.netlist.netlist import Netlist
+from repro.utils.degrade import warn_once
+
+logger = logging.getLogger("repro.layout")
 
 #: A sink reference: either a gate input pin ("gate", "pin") or a primary
 #: output ("PO", name).
@@ -412,6 +417,13 @@ def _batch_connections(net_names: List[str], sink_refs: List[SinkRef],
                 lengths / (config.jog_pitch_fraction * half_perimeter)
             ).astype(np.int64)
     else:  # subclassed policy: defer to the (possibly overridden) method
+        warn_once(
+            logger, f"router.num_jogs.loop:{type(config).__qualname__}",
+            f"router jog counting degraded to per-connection "
+            f"{type(config).__qualname__}.num_jogs() calls (subclassed "
+            f"RouterConfig may override the policy); geometry construction "
+            f"stays batched, results are unchanged",
+        )
         jogs = np.asarray(
             [config.num_jogs(float(length), half_perimeter) for length in lengths],
             dtype=np.int64,
@@ -479,11 +491,47 @@ def _batch_connections(net_names: List[str], sink_refs: List[SinkRef],
         last_odd = np.where((ssteps - 1) % 2 == 1, ssteps - 1, ssteps - 2)
         x_end = sx[stair_idx] + dx[stair_idx] * ((last_even + 1) / ssteps)
         y_end = sy[stair_idx] + dy[stair_idx] * ((last_odd + 1) / ssteps)
-        close_x_l = (np.abs(x_end - tx[stair_idx]) > 1e-9).tolist()
-        close_y_l = (np.abs(y_end - ty[stair_idx]) > 1e-9).tolist()
-        x_end_l = x_end.tolist()
-        y_end_l = y_end.tolist()
+        cx_mask = np.abs(x_end - tx[stair_idx]) > 1e-9
+        cy_mask = np.abs(y_end - ty[stair_idx]) > 1e-9
+        close_x_l = cx_mask.tolist()
+        close_y_l = cy_mask.tolist()
         seg_starts_l = seg_starts.tolist()
+        # Closing pieces (the remaining offset after the staircase) as flat
+        # columns too: the geometry is the same Segment/Via the reference
+        # appends after its loop, built here with the batch fast path and
+        # consumed in connection order by the materialization below.
+        hs, vs = h[stair_idx], v[stair_idx]
+        close_x_segs = iter(_new_segments(
+            hs[cx_mask].tolist(), x_end[cx_mask].tolist(),
+            y_end[cx_mask].tolist(), tx[stair_idx][cx_mask].tolist(),
+            y_end[cx_mask].tolist(),
+        ))
+        close_x_vias = iter(_new_vias(
+            x_end[cx_mask].tolist(), y_end[cx_mask].tolist(),
+            hs[cx_mask].tolist(), vs[cx_mask].tolist(),
+        ))
+        # close-y starts from target.x when close-x already closed that axis.
+        x_at = np.where(cx_mask, tx[stair_idx], x_end)
+        close_y_segs = iter(_new_segments(
+            vs[cy_mask].tolist(), x_at[cy_mask].tolist(),
+            y_end[cy_mask].tolist(), x_at[cy_mask].tolist(),
+            ty[stair_idx][cy_mask].tolist(),
+        ))
+        close_y_vias = iter(_new_vias(
+            x_at[cy_mask].tolist(), y_end[cy_mask].tolist(),
+            hs[cy_mask].tolist(), vs[cy_mask].tolist(),
+        ))
+
+    # --- straight (single-segment) connections as flat columns --------------
+    straight_idx = np.nonzero(straight)[0]
+    if straight_idx.size:
+        s_layer = np.where(abs_dy[straight_idx] < 1e-9,
+                           h[straight_idx], v[straight_idx])
+        straight_segs = iter(_new_segments(
+            s_layer.tolist(), sx[straight_idx].tolist(),
+            sy[straight_idx].tolist(), tx[straight_idx].tolist(),
+            ty[straight_idx].tolist(),
+        ))
 
     # --- sink pin stacks for every connection -------------------------------
     stack_counts = np.maximum(h - config.pin_layer, 0)
@@ -502,50 +550,57 @@ def _batch_connections(net_names: List[str], sink_refs: List[SinkRef],
     v_l = v.tolist()
     local_l = local_of.tolist()
     degenerate_l = degenerate.tolist()
-    straight_h_l = (abs_dy < 1e-9).tolist()  # straight runs pick H on flat y
     stack_starts_l = stack_starts.tolist()
     if source_hints is None:
-        source_hints = [None] * m
+        source_hints = repeat(None)
     if target_hints is None:
-        target_hints = [None] * m
+        target_hints = repeat(None)
     out: List[RoutedConnection] = []
     append = out.append
+    new_connection = RoutedConnection.__new__
     stack_lo = 0
-    for i in range(m):
-        source = sources[i]
-        target = targets[i]
-        h_layer = h_l[i]
-        v_layer = v_l[i]
-        li = local_l[i]
+    # Same __dict__ fast path as _new_segments/_new_vias, iterated as one
+    # zip over the columns (tuple unpacking beats per-column indexing): this
+    # loop materializes one RoutedConnection per sink pin of the design.
+    for (net_name, sink, source, target, h_layer, v_layer, li, is_degen,
+         source_hint, target_hint, stack_hi) in zip(
+            net_names, sink_refs, sources, targets, h_l, v_l, local_l,
+            degenerate_l, source_hints, target_hints, stack_starts_l[1:]):
         if li >= 0:
             segments = stair_segments[seg_starts_l[li]:seg_starts_l[li + 1]]
             vias = bend_vias[bend_starts_l[li]:bend_starts_l[li + 1]]
             if close_x_l[li]:
-                segments.append(Segment(h_layer, x_end_l[li], y_end_l[li], target.x, y_end_l[li]))
-                vias.append(Via(x_end_l[li], y_end_l[li], h_layer, v_layer))
+                segments.append(next(close_x_segs))
+                vias.append(next(close_x_vias))
             if close_y_l[li]:
-                x_at = target.x if close_x_l[li] else x_end_l[li]
-                segments.append(Segment(v_layer, x_at, y_end_l[li], x_at, target.y))
-                vias.append(Via(x_at, y_end_l[li], h_layer, v_layer))
-        elif degenerate_l[i]:
+                segments.append(next(close_y_segs))
+                vias.append(next(close_y_vias))
+        elif is_degen:
             segments = []
             vias = []
         else:
-            layer = h_layer if straight_h_l[i] else v_layer
-            segments = [Segment(layer, source.x, source.y, target.x, target.y)]
+            segments = [next(straight_segs)]
             vias = []
-        stack_hi = stack_starts_l[i + 1]
-        if stack_hi > stack_lo:
+        if stack_hi - stack_lo == 1:  # single pin via, the common case
+            vias.append(stack_vias[stack_lo])
+        elif stack_hi > stack_lo:
             vias.extend(stack_vias[stack_lo:stack_hi])
         stack_lo = stack_hi
-        source_hint = source_hints[i]
-        target_hint = target_hints[i]
-        append(RoutedConnection(
-            net_names[i], sink_refs[i], source, target, h_layer, v_layer,
-            segments, vias,
-            source_hint if source_hint is not None else target,
-            target_hint if target_hint is not None else source,
-        ))
+        connection = new_connection(RoutedConnection)
+        connection.__dict__ = {
+            "net": net_name,
+            "sink": sink,
+            "source": source,
+            "target": target,
+            "h_layer": h_layer,
+            "v_layer": v_layer,
+            "segments": segments,
+            "vias": vias,
+            "source_hint": source_hint if source_hint is not None else target,
+            "target_hint": target_hint if target_hint is not None else source,
+            "protected": False,
+        }
+        append(connection)
     return out
 
 
@@ -652,6 +707,236 @@ def _selection_is_vectorizable(config: RouterConfig) -> bool:
     return all(a <= b for a, b in zip(thresholds, thresholds[1:]))
 
 
+def _selection_vectorizable_or_warn(config: RouterConfig) -> bool:
+    """:func:`_selection_is_vectorizable` plus the degradation warning."""
+    if type(config) is not RouterConfig:
+        warn_once(
+            logger, f"router.select_pairs.loop:{type(config).__qualname__}",
+            f"router layer-pair selection degraded to per-connection "
+            f"{type(config).__qualname__} method calls (subclassed "
+            f"RouterConfig may override the selection policy); geometry "
+            f"construction stays batched, results are unchanged",
+        )
+        return False
+    if not _selection_is_vectorizable(config):
+        warn_once(
+            logger, "router.select_pairs.loop:thresholds",
+            "router layer-pair selection degraded to per-connection method "
+            "calls (length_thresholds are not non-decreasing, the bisect "
+            "shortcut does not apply); results are unchanged",
+        )
+        return False
+    return True
+
+
+class _RoutingSkeleton:
+    """Seed-independent routing structure shared across a placement batch.
+
+    Which 2-pin connections exist — the reference's skip logic over unplaced
+    drivers/sinks — depends only on the *key sets* of a placement's
+    ``gate_positions``/``port_positions``, not on the coordinates.  The
+    skeleton records every routable connection as name references once, and
+    :meth:`resolve` turns them into concrete ``Point`` endpoints against any
+    placement with the same key sets (each member of a ``place_batch`` run).
+    """
+
+    def __init__(self, netlist: Netlist, placement: PlacementResult):
+        self.netlist = netlist
+        self.gate_keys = frozenset(placement.gate_positions)
+        self.port_keys = frozenset(placement.port_positions)
+        gate_positions = placement.gate_positions
+        port_positions = placement.port_positions
+        #: Per routed net: (net_name, net, source_is_port, source_name,
+        #: start, stop) with [start, stop) slicing the flat columns.
+        self.entries: List[Tuple[str, object, bool, str, int, int]] = []
+        self.net_names: List[str] = []
+        self.sink_refs: List[SinkRef] = []
+        #: Per connection: (target_is_port, lookup_name).
+        self.target_refs: List[Tuple[bool, str]] = []
+        for net_name, net in netlist.nets.items():
+            if net.driver is not None:
+                source_is_port = False
+                source_name = net.driver[0]
+                if source_name not in gate_positions:
+                    continue
+            elif net.is_primary_input:
+                source_is_port = True
+                source_name = net_name
+                if source_name not in port_positions:
+                    continue
+            else:
+                continue
+            start = len(self.sink_refs)
+            for sink_gate, sink_pin in net.sinks:
+                if sink_gate in gate_positions:
+                    self.sink_refs.append((sink_gate, sink_pin))
+                    self.target_refs.append((False, sink_gate))
+            for po in net.primary_outputs:
+                if po in port_positions:
+                    self.sink_refs.append(("PO", po))
+                    self.target_refs.append((True, po))
+            stop = len(self.sink_refs)
+            if stop == start:
+                continue
+            self.net_names.extend([net_name] * (stop - start))
+            self.entries.append(
+                (net_name, net, source_is_port, source_name, start, stop)
+            )
+        self.net_starts = np.asarray(
+            [entry[4] for entry in self.entries], dtype=np.intp
+        )
+        # Slot-indexed resolution: every endpoint is one of the placement's
+        # points.  Listing the points once per placement (name order fixed
+        # here) turns per-connection dict lookups into list indexing and the
+        # coordinate columns into NumPy gathers.
+        self.gate_names = list(self.gate_keys)
+        self.port_names = list(self.port_keys)
+        gate_slot = {name: i for i, name in enumerate(self.gate_names)}
+        n_gates = len(self.gate_names)
+        port_slot = {
+            name: n_gates + i for i, name in enumerate(self.port_names)
+        }
+        self.target_slots = [
+            port_slot[name] if is_port else gate_slot[name]
+            for is_port, name in self.target_refs
+        ]
+        self.entry_source_slots = [
+            port_slot[source_name] if source_is_port else gate_slot[source_name]
+            for _nn, _net, source_is_port, source_name, _start, _stop
+            in self.entries
+        ]
+        self.source_slots = np.repeat(
+            np.asarray(self.entry_source_slots, dtype=np.intp),
+            [stop - start for _nn, _net, _p, _s, start, stop in self.entries],
+        ).tolist()
+        self._target_idx = np.asarray(self.target_slots, dtype=np.intp)
+        self._source_idx = np.asarray(self.source_slots, dtype=np.intp)
+        self._entry_source_idx = np.asarray(
+            self.entry_source_slots, dtype=np.intp
+        )
+
+    def matches(self, placement: PlacementResult) -> bool:
+        """True when ``placement`` places exactly the skeleton's keys."""
+        return (
+            self.gate_keys == placement.gate_positions.keys()
+            and self.port_keys == placement.port_positions.keys()
+        )
+
+    def resolve(self, placement: PlacementResult
+                ) -> Tuple[List[Point], List[Point], List[Point]]:
+        """Endpoint ``Point`` columns for one placement of the family.
+
+        Returns ``(entry_sources, sources, targets)``: the driver point per
+        routed net, then the flat per-connection source/target columns the
+        batch geometry pass consumes (sources repeat the driver point per
+        sink, exactly like the reference gather).
+        """
+        points = self.points(placement)
+        entry_sources = [points[i] for i in self.entry_source_slots]
+        sources = [points[i] for i in self.source_slots]
+        targets = [points[i] for i in self.target_slots]
+        return entry_sources, sources, targets
+
+    def points(self, placement: PlacementResult) -> List[Point]:
+        """The placement's points in the skeleton's slot order."""
+        gate_positions = placement.gate_positions
+        port_positions = placement.port_positions
+        points = [gate_positions[name] for name in self.gate_names]
+        points += [port_positions[name] for name in self.port_names]
+        return points
+
+    def coordinate_columns(self, points: List[Point]) -> Tuple[np.ndarray, ...]:
+        """``(sx, sy, tx, ty, esx, esy)`` float64 columns via slot gathers."""
+        px = np.asarray([p.x for p in points], dtype=np.float64)
+        py = np.asarray([p.y for p in points], dtype=np.float64)
+        return (
+            px[self._source_idx], py[self._source_idx],
+            px[self._target_idx], py[self._target_idx],
+            px[self._entry_source_idx], py[self._entry_source_idx],
+        )
+
+
+def _route_with_skeleton(skeleton: _RoutingSkeleton,
+                         placement: PlacementResult, config: RouterConfig,
+                         min_layer_per_net: Mapping[str, int],
+                         vectorizable: bool) -> Dict[str, RoutedNet]:
+    """Route one placement through a (shared) routing skeleton."""
+    routed: Dict[str, RoutedNet] = {}
+    if not skeleton.entries:
+        return routed
+    half_perimeter = placement.floorplan.half_perimeter_um
+    points = skeleton.points(placement)
+    entry_sources = [points[i] for i in skeleton.entry_source_slots]
+    sources = [points[i] for i in skeleton.source_slots]
+    targets = [points[i] for i in skeleton.target_slots]
+    net_names = skeleton.net_names
+    m = len(net_names)
+
+    sx, sy, tx, ty, esx, esy = skeleton.coordinate_columns(points)
+    lengths = np.abs(sx - tx) + np.abs(sy - ty)  # == manhattan(source, target)
+    if min_layer_per_net:
+        lift = np.asarray(
+            [min_layer_per_net.get(name, -1) for name in net_names],
+            dtype=np.int64,
+        )
+    else:
+        lift = np.full(m, -1, dtype=np.int64)
+    if vectorizable:
+        h, v = _select_pairs(config, lengths, half_perimeter, lift)
+    else:
+        selected = [
+            config.pair_for_lifted(float(length), half_perimeter, int(net_lift))
+            if net_lift >= 0
+            else config.pair_for_length(float(length), half_perimeter)
+            for length, net_lift in zip(lengths, lift)
+        ]
+        h = np.asarray([pair[0] for pair in selected], dtype=np.int64)
+        v = np.asarray([pair[1] for pair in selected], dtype=np.int64)
+
+    connections = _batch_connections(
+        net_names, skeleton.sink_refs, sources, targets, h, v,
+        source_hints=None, target_hints=None,
+        config=config, half_perimeter=half_perimeter,
+        sx=sx, sy=sy, tx=tx, ty=ty,
+    )
+
+    # Driver pin via stacks, shared by all connections of a net, reach the
+    # highest H layer any connection uses: per-net max in one reduceat pass,
+    # then all stacks at once as flat via columns.  Every skeleton entry has
+    # a driver or is a primary input (anything else has no source and was
+    # skipped), so every routed net gets its stack — like the reference.
+    max_h_per_net = np.maximum(
+        np.maximum.reduceat(h, skeleton.net_starts), config.pin_layer
+    )
+    stack_counts = max_h_per_net - config.pin_layer
+    stack_starts = np.concatenate(([0], np.cumsum(stack_counts)))
+    stack_rep = np.repeat(np.arange(len(skeleton.entries)), stack_counts)
+    stack_layer = config.pin_layer + (
+        np.arange(int(stack_starts[-1]), dtype=np.int64)
+        - stack_starts[stack_rep]
+    )
+    driver_vias = _new_vias(
+        esx[stack_rep].tolist(), esy[stack_rep].tolist(),
+        stack_layer.tolist(), (stack_layer + 1).tolist(),
+    )
+
+    stack_starts_l = stack_starts.tolist()
+    new_net = RoutedNet.__new__
+    stack_lo = 0
+    for (net_name, _net, _is_port, _src, start, stop), source, stack_hi in zip(
+            skeleton.entries, entry_sources, stack_starts_l[1:]):
+        routed_net = new_net(RoutedNet)
+        routed_net.__dict__ = {
+            "name": net_name,
+            "driver_point": source,
+            "connections": connections[start:stop],
+            "driver_vias": driver_vias[stack_lo:stack_hi],
+        }
+        stack_lo = stack_hi
+        routed[net_name] = routed_net
+    return routed
+
+
 def route(netlist: Netlist, placement: PlacementResult,
           config: Optional[RouterConfig] = None,
           min_layer_per_net: Optional[Mapping[str, int]] = None) -> Dict[str, RoutedNet]:
@@ -676,60 +961,54 @@ def route(netlist: Netlist, placement: PlacementResult,
     """
     config = config if config is not None else RouterConfig()
     min_layer_per_net = min_layer_per_net or {}
-    half_perimeter = placement.floorplan.half_perimeter_um
-
-    entries, net_names, sink_refs, sources, targets = _gather_connections(
-        netlist, placement
-    )
-    routed: Dict[str, RoutedNet] = {}
-    if not entries:
-        return routed
-
-    sx = np.asarray([p.x for p in sources], dtype=np.float64)
-    sy = np.asarray([p.y for p in sources], dtype=np.float64)
-    tx = np.asarray([p.x for p in targets], dtype=np.float64)
-    ty = np.asarray([p.y for p in targets], dtype=np.float64)
-    lengths = np.abs(sx - tx) + np.abs(sy - ty)  # == manhattan(source, target)
-    lift = np.asarray(
-        [min_layer_per_net.get(name, -1) for name in net_names], dtype=np.int64
-    )
-    if _selection_is_vectorizable(config):
-        h, v = _select_pairs(config, lengths, half_perimeter, lift)
-    else:
-        selected = [
-            config.pair_for_lifted(float(length), half_perimeter, int(net_lift))
-            if net_lift >= 0
-            else config.pair_for_length(float(length), half_perimeter)
-            for length, net_lift in zip(lengths, lift)
-        ]
-        h = np.asarray([pair[0] for pair in selected], dtype=np.int64)
-        v = np.asarray([pair[1] for pair in selected], dtype=np.int64)
-
-    connections = _batch_connections(
-        net_names, sink_refs, sources, targets, h, v,
-        source_hints=None, target_hints=None,
-        config=config, half_perimeter=half_perimeter,
-        sx=sx, sy=sy, tx=tx, ty=ty,
+    skeleton = _RoutingSkeleton(netlist, placement)
+    return _route_with_skeleton(
+        skeleton, placement, config, min_layer_per_net,
+        _selection_vectorizable_or_warn(config),
     )
 
-    # Driver pin via stacks: per-net max H layer in one reduceat pass.
-    net_starts = np.asarray([entry[3] for entry in entries], dtype=np.intp)
-    max_h_per_net = np.maximum(
-        np.maximum.reduceat(h, net_starts), config.pin_layer
-    ).tolist()
-    for entry_idx, (net_name, net, source, start, stop) in enumerate(entries):
-        routed_net = RoutedNet(
-            name=net_name, driver_point=source,
-            connections=connections[start:stop],
-        )
-        # Driver pin via stack, shared by all connections of the net, reaches
-        # the highest H layer any connection uses.
-        if net.driver is not None or net.is_primary_input:
-            routed_net.driver_vias = _via_stack(
-                source.x, source.y, config.pin_layer, max_h_per_net[entry_idx]
+
+def route_batch(netlist: Netlist, placements: Sequence[PlacementResult],
+                config: Optional[RouterConfig] = None,
+                min_layer_per_net: Optional[Mapping[str, int]] = None
+                ) -> List[Dict[str, RoutedNet]]:
+    """Route every net of ``netlist`` over each placement of a seed batch.
+
+    Semantically ``[route(netlist, p, config, min_layer_per_net) for p in
+    placements]`` — and bit-exact with it, placement by placement — but the
+    connection skeleton (which driver→sink pairs exist, in which net order)
+    is gathered once and shared: per placement only the coordinate columns,
+    the layer-pair selection and the geometry materialization run.
+
+    Placements are expected to place the same gate/port sets (the members of
+    one :func:`repro.layout.placer.place_batch` call); a member that does not
+    is routed through its own freshly gathered skeleton, with a one-shot
+    degradation warning.
+
+    Returns:
+        One net-name → :class:`RoutedNet` mapping per placement, in order.
+    """
+    if not placements:
+        return []
+    config = config if config is not None else RouterConfig()
+    min_layer_per_net = min_layer_per_net or {}
+    skeleton = _RoutingSkeleton(netlist, placements[0])
+    vectorizable = _selection_vectorizable_or_warn(config)
+    results: List[Dict[str, RoutedNet]] = []
+    for index, placement in enumerate(placements):
+        member_skeleton = skeleton
+        if index > 0 and not skeleton.matches(placement):
+            warn_once(
+                logger, "router.route_batch.skeleton_mismatch",
+                "route_batch member places a different gate/port set than "
+                "the batch head; its connection skeleton is re-gathered "
+                "per placement (results are unchanged, sharing is lost)",
             )
-        routed[net_name] = routed_net
-    return routed
+            member_skeleton = _RoutingSkeleton(netlist, placement)
+        results.append(_route_with_skeleton(
+            member_skeleton, placement, config, min_layer_per_net, vectorizable
+        ))
+    return results
 
 
 def route_reference(netlist: Netlist, placement: PlacementResult,

@@ -124,6 +124,121 @@ def test_build_equivalence_superblue():
     )
 
 
+def check_circuit_batched(netlist) -> None:
+    """Seed-batched place/route vs references and vs the single-seed path."""
+    from repro.layout.placer import place_batch
+    from repro.layout.router import route_batch
+
+    floorplan = build_floorplan(netlist, 0.70)
+    seeds = [0, 3, 7, 1]
+    for config in (PlacerConfig(), PlacerConfig(refinement_rounds=2)):
+        placements = place_batch(netlist, seeds, floorplan, config=config)
+        for seed, placement in zip(seeds, placements):
+            import dataclasses
+
+            per_seed = dataclasses.replace(config, seed=seed)
+            assert_placements_identical(
+                place_reference(netlist, floorplan, config=per_seed), placement
+            )
+            assert_placements_identical(
+                place(netlist, floorplan, config=per_seed), placement
+            )
+    placements = place_batch(netlist, seeds, floorplan)
+    for router_config, lifts in [
+        (RouterConfig(), None),
+        (RouterConfig(), _lift_map(netlist, 6)),
+    ]:
+        routings = route_batch(netlist, placements, router_config, lifts)
+        for placement, routing in zip(placements, routings):
+            assert_routings_identical(
+                route_reference(netlist, placement, router_config, lifts),
+                routing,
+            )
+            assert_routings_identical(
+                route(netlist, placement, router_config, lifts), routing
+            )
+
+
+@pytest.mark.parametrize("circuit", FAST_CIRCUITS)
+def test_batched_build_equivalence_fast(circuit):
+    check_circuit_batched(iscas85_netlist(circuit, seed=1))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("circuit", SLOW_CIRCUITS)
+def test_batched_build_equivalence_all_iscas(circuit):
+    check_circuit_batched(iscas85_netlist(circuit, seed=1))
+
+
+@pytest.mark.slow
+def test_batched_build_equivalence_superblue():
+    from repro.circuits.superblue import superblue_netlist
+
+    check_circuit_batched(superblue_netlist("superblue18", scale=0.0025, seed=1))
+
+
+def test_batch_order_and_composition_invariance():
+    """Batch membership never changes any seed's result (Hypothesis).
+
+    A seed's placement and routing must be a pure function of
+    ``(netlist, floorplan, seed)`` — the batch it rides in (order, size,
+    which other seeds are present) must be invisible.
+    """
+    hypothesis = pytest.importorskip("hypothesis")
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    from repro.layout.placer import place_batch
+    from repro.layout.router import route_batch
+
+    netlist = iscas85_netlist("c432", seed=1)
+    floorplan = build_floorplan(netlist, 0.70)
+    solo: dict = {}
+
+    def solo_build(seed: int):
+        if seed not in solo:
+            placement = place(netlist, floorplan, config=PlacerConfig(seed=seed))
+            solo[seed] = (placement, route(netlist, placement))
+        return solo[seed]
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                    max_size=5, unique=True))
+    def run(seeds):
+        placements = place_batch(netlist, seeds, floorplan)
+        routings = route_batch(netlist, placements)
+        for seed, placement, routing in zip(seeds, placements, routings):
+            expected_placement, expected_routing = solo_build(seed)
+            assert_placements_identical(expected_placement, placement)
+            assert_routings_identical(expected_routing, routing)
+
+    run()
+
+
+def test_batch_of_one_matches_single_path():
+    """Batch size 1 falls back to exactly the single-seed vectorized result."""
+    from repro.layout.placer import place_batch
+    from repro.layout.router import route_batch
+
+    netlist = iscas85_netlist("c880", seed=1)
+    floorplan = build_floorplan(netlist, 0.70)
+    [placement] = place_batch(netlist, [4], floorplan)
+    single = place(netlist, floorplan, config=PlacerConfig(seed=4))
+    assert_placements_identical(single, placement)
+    [routing] = route_batch(netlist, [placement])
+    assert_routings_identical(route(netlist, placement), routing)
+
+
+def test_empty_batch():
+    from repro.layout.placer import place_batch
+    from repro.layout.router import route_batch
+
+    netlist = iscas85_netlist("c432", seed=1)
+    assert place_batch(netlist, []) == []
+    assert route_batch(netlist, []) == []
+
+
 class TestConnectionBatch:
     """route_connections_batch vs per-connection route_connection."""
 

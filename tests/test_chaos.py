@@ -109,6 +109,67 @@ class TestWorkerCrashRecovery:
         assert first_faulted == first_reference
 
 
+class TestBatchedSweepChaos:
+    """Mid-batch faults: seed-batched chunks under the fault plan.
+
+    Specs that pin ``netlist_seed`` travel the pool as seed-batch chunks
+    (shared skeleton, coordinate deltas back).  A chaos crash targeting one
+    seed therefore kills a worker *mid-batch* — these tests pin the recovery
+    contract: surviving seeds publish, the poison seed retries/quarantines
+    alone, and everything recovered is bit-identical to a fault-free run.
+    """
+
+    def batched_spec(self, **overrides) -> ScenarioSpec:
+        kwargs = dict(
+            benchmark="c17", scheme="original", metrics=("distances",),
+            seeds=(0, 1, 2, 3), netlist_seed=1,
+        )
+        kwargs.update(overrides)
+        return ScenarioSpec(**kwargs)
+
+    def test_worker_killed_mid_batch_recovers_bit_identically(self):
+        # seed1's injection kills its worker while the chunk [0, 1] is in
+        # flight; the supervisor respawns the pool, the chunk's retry runs
+        # clean and every seed publishes — bit-identical to no faults.
+        workspace = Workspace(
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.0),
+            chaos=FaultPlan(crash_first=1, match="seed1"),
+        )
+        built = workspace.prewarm([self.batched_spec()], jobs=2)
+        assert sorted(spec.seed for spec in built) == [0, 1, 2, 3]
+        report = workspace.last_report
+        assert report.respawns >= 1
+        assert report.failed() == {}
+        assert not report.degraded_serial
+        faulted = workspace.run_sweep(self.batched_spec())
+        reference = Workspace().run_sweep(self.batched_spec())
+        assert strip_elapsed(faulted.to_dict()) == strip_elapsed(reference.to_dict())
+
+    def test_poison_seed_quarantines_alone_siblings_publish(self):
+        # seed1 crashes on *every* attempt: its chunk burns the shared
+        # budget, then the retry-isolation phase re-runs each member alone —
+        # the innocent chunk sibling (seed0) and the untouched second chunk
+        # (seeds 2, 3) publish while seed1 quarantines by itself.
+        workspace = Workspace(
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+            chaos=FaultPlan(crash_first=99, match="seed1"),
+        )
+        built = workspace.prewarm([self.batched_spec()], jobs=2, on_error="skip")
+        assert sorted(spec.seed for spec in built) == [0, 2, 3]
+        for spec in built:
+            assert workspace.has_build(spec)
+        [(key, error)] = workspace.last_report.failed().items()
+        assert error.cause_type == "BrokenProcessPool"
+        assert key in workspace.quarantined()
+        [failure] = workspace.drain_failures()
+        assert failure.seed == 1 and failure.kind == "build"
+        # Survivors served from the recovered cache match a clean workspace.
+        clean = Workspace()
+        for spec in built:
+            assert strip_elapsed(workspace.run_scenario(spec).to_dict()) == \
+                strip_elapsed(clean.run_scenario(spec).to_dict())
+
+
 class TestHangRecovery:
     def test_hung_worker_is_killed_and_retried(self):
         # seed0's first attempt sleeps far past the per-build timeout; the
