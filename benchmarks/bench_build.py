@@ -26,8 +26,11 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import logging
 import platform
+import shutil
 import sys
+import tempfile
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -38,6 +41,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.api.spec import ScenarioSpec                      # noqa: E402
 from repro.api.workspace import Workspace                     # noqa: E402
+from repro.store import ArtifactStore                         # noqa: E402
+from repro.utils.host import host_metadata                    # noqa: E402
+
+_log = logging.getLogger("repro.bench.build")
 from repro.circuits import iscas85_netlist                    # noqa: E402
 from repro.circuits.superblue import superblue_netlist        # noqa: E402
 from repro.layout.floorplan import build_floorplan            # noqa: E402
@@ -312,6 +319,78 @@ def bench_seed_batch(benchmark: str, scale: float, batch_sizes: List[int],
     return results
 
 
+def bench_store(benchmark: str, scale: float, num_seeds: int,
+                repeat: int, scheme: str = "original") -> Dict[str, object]:
+    """Cold-build sweep vs replaying the same sweep from the disk store.
+
+    The cold side runs a seed sweep through a fresh workspace writing into
+    an empty artefact store; the warm side reruns the identical sweep in
+    another fresh workspace against the now-populated store, so every
+    build is a disk hit (decode + checksum) instead of a place-and-route.
+    The replayed sweep is asserted bit-identical to the cold one before
+    timing, and the warm run is asserted to rebuild nothing.
+
+    ``scheme`` picks the build the store amortizes: ``original`` is the
+    cheapest possible build (bare place-and-route — the store's worst
+    case), while a protected scheme such as ``synergistic`` pays the full
+    defense flow on the cold side, which is what real sweeps replay.
+    """
+    scale_arg = scale if benchmark.startswith("superblue") else None
+    spec = ScenarioSpec(
+        benchmark=benchmark, scheme=scheme, scale=scale_arg,
+        seeds=list(range(num_seeds)), netlist_seed=0,
+    )
+
+    def strip(payload):
+        if isinstance(payload, dict):
+            return {k: strip(v) for k, v in payload.items() if k != "elapsed_s"}
+        if isinstance(payload, list):
+            return [strip(v) for v in payload]
+        return payload
+
+    root = Path(tempfile.mkdtemp(prefix="bench_store."))
+    try:
+        # Correctness gate: a store replay reproduces the cold sweep exactly
+        # and never falls back to a rebuild.
+        cold_ws = Workspace(jobs=1, store=ArtifactStore(root))
+        reference = strip(cold_ws.run_sweep(spec).to_dict())
+        warm_ws = Workspace(jobs=1, store=ArtifactStore(root))
+        replayed = strip(warm_ws.run_sweep(spec).to_dict())
+        assert replayed == reference, "store replay diverged from cold sweep"
+        warm_stats = warm_ws.stats()
+        assert warm_stats["store_hits"] == num_seeds, warm_stats
+        assert warm_stats["store_misses"] == 0, warm_stats
+        store_bytes = ArtifactStore(root, readonly=True).total_bytes()
+
+        def cold_run() -> None:
+            scratch = Path(tempfile.mkdtemp(prefix="bench_store.cold."))
+            try:
+                Workspace(jobs=1, store=ArtifactStore(scratch)).run_sweep(spec)
+            finally:
+                shutil.rmtree(scratch, ignore_errors=True)
+
+        def warm_run() -> None:
+            Workspace(jobs=1, store=ArtifactStore(root)).run_sweep(spec)
+
+        cold_s = _timeit(cold_run, repeat)
+        warm_s = _timeit(warm_run, repeat)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "benchmark": benchmark,
+        "scale": scale_arg,
+        "scheme": scheme,
+        "num_seeds": num_seeds,
+        "cold_build_s_total": round(cold_s, 4),
+        "cold_build_s_per_seed": round(cold_s / num_seeds, 4),
+        "warm_disk_hit_s_total": round(warm_s, 4),
+        "warm_disk_hit_s_per_seed": round(warm_s / num_seeds, 4),
+        "warm_speedup": round(cold_s / warm_s, 2),
+        "store_bytes": store_bytes,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--benchmark", default="superblue12",
@@ -368,10 +447,21 @@ def main(argv=None) -> int:
         args.sweep_benchmark, args.sweep_scale, args.seeds, args.jobs,
         repeat=args.repeat,
     )
+    # Two store rows bracket the build-cost spectrum: "original" is a bare
+    # place-and-route (the cheapest build the store can ever amortize) and
+    # "synergistic" is the paper's concerted defense flow (what protected
+    # sweeps actually replay).
+    store = [
+        bench_store(args.sweep_benchmark, args.sweep_scale, args.seeds,
+                    repeat=args.repeat, scheme=scheme)
+        for scheme in ("original", "synergistic")
+    ]
 
+    generated_utc = datetime.now(timezone.utc).isoformat(timespec="seconds")
     payload = {
         "meta": {
-            "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "generated_utc": generated_utc,
+            "host": host_metadata(generated_utc),
             "python": platform.python_version(),
             "machine": platform.machine(),
             "notes": (
@@ -382,34 +472,55 @@ def main(argv=None) -> int:
                 "references before timing.  The sweep section compares "
                 "Workspace.run_sweeps (vectorized builds, batched prewarm) "
                 "against building each seed sequentially with the reference "
-                "implementations."
+                "implementations.  The store section replays the sweep from "
+                "a populated repro.store artefact store (disk hits, asserted "
+                "bit-identical to the cold build) against cold-building it."
             ),
         },
         "build_path": builds,
         "seed_sweep": sweep,
         "seed_batch": seed_batch,
+        "store": store,
     }
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"[bench_build] wrote {args.output}")
+    _log.info("wrote %s", args.output)
     for entry in builds:
-        print(f"  {entry['benchmark']} rounds={entry['refinement_rounds']}: "
-              f"place x{entry['place_speedup']}, route x{entry['route_speedup']}, "
-              f"build x{entry['build_speedup']}")
-    print(f"  sweep {sweep['benchmark']}@{sweep['scale']} x{sweep['num_seeds']} seeds: "
-          f"{sweep['sweep_s_per_seed']}s/seed vs sequential "
-          f"{sweep['sequential_reference_s_per_seed']}s/seed "
-          f"(x{sweep['amortized_speedup']})")
+        _log.info(
+            "%s rounds=%s: place x%s, route x%s, build x%s",
+            entry["benchmark"], entry["refinement_rounds"],
+            entry["place_speedup"], entry["route_speedup"],
+            entry["build_speedup"],
+        )
+    _log.info(
+        "sweep %s@%s x%s seeds: %ss/seed vs sequential %ss/seed (x%s)",
+        sweep["benchmark"], sweep["scale"], sweep["num_seeds"],
+        sweep["sweep_s_per_seed"], sweep["sequential_reference_s_per_seed"],
+        sweep["amortized_speedup"],
+    )
     for entry in seed_batch:
-        print(f"  seed_batch {entry['benchmark']}@{entry['scale']} "
-              f"x{entry['num_seeds']} seeds jobs={entry['jobs']}: "
-              f"build {entry['build_s_per_seed']}s/seed "
-              f"(x{entry['amortized_speedup']}), sweep "
-              f"{entry['sweep_s_per_seed']}s/seed "
-              f"(x{entry['sweep_speedup']}) vs sequential "
-              f"{entry['sequential_reference_s_per_seed']}s/seed, payload "
-              f"x{entry['payload_reduction']} smaller")
+        _log.info(
+            "seed_batch %s@%s x%s seeds jobs=%s: build %ss/seed (x%s), "
+            "sweep %ss/seed (x%s) vs sequential %ss/seed, payload x%s smaller",
+            entry["benchmark"], entry["scale"], entry["num_seeds"],
+            entry["jobs"], entry["build_s_per_seed"],
+            entry["amortized_speedup"], entry["sweep_s_per_seed"],
+            entry["sweep_speedup"], entry["sequential_reference_s_per_seed"],
+            entry["payload_reduction"],
+        )
+    for entry in store:
+        _log.info(
+            "store %s@%s %s x%s seeds: warm disk hit %ss/seed vs cold build "
+            "%ss/seed (x%s, %d bytes on disk)",
+            entry["benchmark"], entry["scale"], entry["scheme"],
+            entry["num_seeds"], entry["warm_disk_hit_s_per_seed"],
+            entry["cold_build_s_per_seed"], entry["warm_speedup"],
+            entry["store_bytes"],
+        )
     return 0
 
 
 if __name__ == "__main__":
+    logging.basicConfig(
+        level=logging.INFO, format="%(levelname)s %(name)s: %(message)s"
+    )
     sys.exit(main())

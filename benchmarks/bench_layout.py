@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import platform
 import statistics
 import sys
@@ -42,6 +43,9 @@ from repro.layout.geometry import manhattan  # noqa: E402
 from repro.layout.placer import placement_hpwl  # noqa: E402
 from repro.metrics.distances import distance_stats  # noqa: E402
 from repro.sm.split import extract_feol  # noqa: E402
+from repro.utils.host import host_metadata  # noqa: E402
+
+_log = logging.getLogger("repro.bench.layout")
 
 #: Split layer of the superblue routing-centric evaluation (paper setup).
 SPLIT_LAYER = 6
@@ -136,8 +140,10 @@ def bench_config(benchmark: str, scale: float, seed: int,
     view = extract_feol(layout, SPLIT_LAYER)
     num_sinks = len(view.sink_vpins)
     num_drivers = len(view.driver_vpins)
-    print(f"[bench_layout] {benchmark} scale={scale}: gates={netlist.num_gates} "
-          f"sinks={num_sinks} drivers={num_drivers}")
+    _log.info(
+        "%s scale=%s: gates=%d sinks=%d drivers=%d",
+        benchmark, scale, netlist.num_gates, num_sinks, num_drivers,
+    )
 
     # -- correctness gate: the columnar paths must reproduce the legacy ones
     assert proximity_attack(view).assignment == (
@@ -240,8 +246,10 @@ def main() -> None:
         for scale in args.scales
     ]
     largest = max(configs, key=lambda c: c["num_gates"])
+    generated_utc = datetime.now(timezone.utc).isoformat(timespec="seconds")
     payload = {
-        "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "generated_utc": generated_utc,
+        "host": host_metadata(generated_utc),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "notes": (
@@ -256,13 +264,19 @@ def main() -> None:
     }
     # Sorted keys keep the committed artifact (and CI log diffs) stable.
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"[bench_layout] wrote {args.output}")
+    _log.info("wrote %s", args.output)
     for config in configs:
-        print(f"  {config['benchmark']}@{config['scale']}: "
-              f"proximity x{config['speedups']['proximity_cold']} cold / "
-              f"x{config['speedups']['proximity_warm']} warm, "
-              f"distance stats x{config['speedups']['distance_stats_cold']} cold")
+        _log.info(
+            "%s@%s: proximity x%s cold / x%s warm, distance stats x%s cold",
+            config["benchmark"], config["scale"],
+            config["speedups"]["proximity_cold"],
+            config["speedups"]["proximity_warm"],
+            config["speedups"]["distance_stats_cold"],
+        )
 
 
 if __name__ == "__main__":
+    logging.basicConfig(
+        level=logging.INFO, format="%(levelname)s %(name)s: %(message)s"
+    )
     main()

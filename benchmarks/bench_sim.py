@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import platform
 import statistics
 import sys
@@ -362,9 +363,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             table[baseline]["wall_clock_s"] / table[contender]["wall_clock_s"], 2
         )
 
+    from repro.utils.host import host_metadata
+
+    generated_utc = datetime.now(timezone.utc).isoformat(timespec="seconds")
     payload = {
         "meta": {
-            "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "generated_utc": generated_utc,
+            "host": host_metadata(generated_utc),
             "python": platform.python_version(),
             "platform": platform.platform(),
             "benchmark": args.benchmark,
@@ -388,9 +393,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Sorted keys keep the committed artifact (and CI log diffs) stable.
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(payload["speedups_vs_seed"], indent=2))
-    print(f"wrote {output}")
+    logging.getLogger("repro.bench.sim").info("wrote %s", output)
     return 0
 
 
 if __name__ == "__main__":
+    logging.basicConfig(
+        level=logging.INFO, format="%(levelname)s %(name)s: %(message)s"
+    )
     sys.exit(main())

@@ -35,6 +35,7 @@ from repro.api import (
     ATTACKS,
     DEFENSES,
     METRICS,
+    ArtifactStore,
     AttackSpec,
     BuildError,
     ExecError,
@@ -55,12 +56,13 @@ from repro.circuits.registry import available_benchmarks, get_benchmark
 from repro.core.flow import ProtectionConfig, ProtectionResult, protect
 from repro.experiments.common import ExperimentConfig
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "ATTACKS",
     "DEFENSES",
     "METRICS",
+    "ArtifactStore",
     "AttackSpec",
     "BuildError",
     "ExecError",

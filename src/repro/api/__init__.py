@@ -70,8 +70,12 @@ from repro.exec import (  # noqa: E402
     RetryPolicy,
     ScenarioError,
 )
+from repro.store import ArtifactStore, StoreError, UnstorableBuild  # noqa: E402
 
 __all__ = [
+    "ArtifactStore",
+    "StoreError",
+    "UnstorableBuild",
     "ATTACKS",
     "DEFENSES",
     "METRICS",

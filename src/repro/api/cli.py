@@ -5,6 +5,15 @@ Subcommands::
     repro run <target> [...]    # run experiments or JSON scenario specs
     repro list [section]        # registered attacks/defenses/metrics/...
     repro hash <spec.json>      # canonical content hash of a spec file
+    repro cache <op> [...]      # inspect/maintain a persistent artefact store
+                                # (ls | gc | export | import | verify)
+
+``run --store DIR`` (or the ``REPRO_STORE`` environment variable) attaches a
+persistent artefact store: builds are served from disk when present and
+published to disk as they finish, which makes killed sweeps resumable —
+rerun the same command and only the missing seeds build.  With
+``REPRO_STORE_READONLY=1`` a store miss is a hard error instead of a
+rebuild (CI uses this to prove a rerun touched no build path).
 
 ``run`` targets:
 
@@ -47,6 +56,11 @@ from repro.api.registry import ATTACKS, DEFENSES, METRICS, ensure_builtins
 from repro.api.spec import ScenarioSpec, load_specs
 from repro.api.workspace import default_workspace
 from repro.exec import ExecError, RetryPolicy
+
+#: Diagnostics (usage warnings, degradations) go through the ``repro``
+#: logger hierarchy, never ``print`` — the PR-5 contract.  ``main()``
+#: installs a stderr handler, so CLI users still see them.
+_log = logging.getLogger("repro.cli")
 
 #: Exit code for partial results (seeds skipped under --keep-going).
 EXIT_PARTIAL = 3
@@ -121,9 +135,8 @@ def _build_experiment_config(args: argparse.Namespace,
 
     if overrides is not None:
         if args.quick:
-            print(
-                "warning: --quick ignored, the spec file provides an explicit config",
-                file=sys.stderr,
+            _log.warning(
+                "--quick ignored, the spec file provides an explicit config"
             )
         config = ExperimentConfig.from_dict(overrides)
     elif args.quick:
@@ -159,6 +172,10 @@ def apply_resilience_flags(args: argparse.Namespace) -> None:
         )
     if getattr(args, "keep_going", False):
         workspace.on_error = "skip"
+    if getattr(args, "store", None):
+        from repro.store import ArtifactStore
+
+        workspace.store = ArtifactStore(args.store)
 
 
 def drain_failure_dicts() -> List[Dict[str, Any]]:
@@ -185,10 +202,9 @@ def _run_payload(payload: Any, args: argparse.Namespace) -> str:
         return _run_experiments(list(names), config, jobs=_resolved_jobs(args))
     for flag in ("quick", "superblue_scale"):
         if getattr(args, flag, None):
-            print(
-                f"warning: --{flag.replace('_', '-')} ignored for scenario-spec "
-                "payloads (edit the spec instead)",
-                file=sys.stderr,
+            _log.warning(
+                "--%s ignored for scenario-spec payloads (edit the spec "
+                "instead)", flag.replace("_", "-"),
             )
     specs = load_specs(payload)
     if args.seeds:
@@ -316,6 +332,129 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_size(text: str) -> int:
+    """Parse a byte budget: plain int or ``K``/``M``/``G`` suffixed."""
+    text = text.strip()
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    factor = units.get(text[-1:].lower())
+    if factor is not None:
+        return int(float(text[:-1]) * factor)
+    return int(text)
+
+
+def _format_size(num_bytes: int) -> str:
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{value:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+def _open_store(args: argparse.Namespace, *, readonly: Optional[bool] = None):
+    """The store named by ``--store`` / ``REPRO_STORE``, or ``None`` + error."""
+    import os
+
+    from repro.store import ArtifactStore
+
+    root = getattr(args, "store", None) or os.environ.get("REPRO_STORE", "").strip()
+    if not root:
+        print(
+            "error: no artefact store given (pass --store DIR or set REPRO_STORE)",
+            file=sys.stderr,
+        )
+        return None
+    return ArtifactStore(root, readonly=readonly)
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    store = _open_store(args, readonly=True if args.cache_op == "ls" else None)
+    if store is None:
+        return 2
+    if args.cache_op == "ls":
+        entries = store.entries()
+        if args.json:
+            document = [
+                {
+                    "key": entry.key, "benchmark": entry.benchmark,
+                    "scheme": entry.scheme,
+                    "seed": entry.build.get("seed"),
+                    "bytes": entry.bytes, "mtime": entry.mtime,
+                }
+                for entry in entries
+            ]
+            print(json.dumps(document, indent=2, sort_keys=True))
+            return 0
+        for entry in entries:
+            seed = entry.build.get("seed", "?")
+            print(
+                f"{entry.key[:16]}  {entry.benchmark:14s} "
+                f"{entry.scheme:22s} seed={seed!s:6s} {_format_size(entry.bytes)}"
+            )
+        quarantined = store.quarantined()
+        total = sum(entry.bytes for entry in entries)
+        print(
+            f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+            f"{_format_size(total)} total"
+            + (f", {len(quarantined)} quarantined (.bad)" if quarantined else "")
+        )
+        return 0
+    if args.cache_op == "gc":
+        summary = store.gc(
+            max_bytes=_parse_size(args.max_bytes) if args.max_bytes else None,
+            max_entries=args.max_entries,
+        )
+        print(
+            f"evicted {summary['removed']} entr"
+            f"{'y' if summary['removed'] == 1 else 'ies'} "
+            f"({_format_size(summary['freed_bytes'])}); "
+            f"{summary['remaining']} remaining"
+        )
+        return 0
+    if args.cache_op == "verify":
+        report = store.verify()
+        bad = [item for item in report if not item["ok"]]
+        for item in report:
+            status = "ok" if item["ok"] else "QUARANTINED"
+            print(
+                f"{item['key'][:16]}  {item['benchmark']:14s} "
+                f"{item['scheme']:22s} {status}"
+            )
+        print(f"{len(report) - len(bad)}/{len(report)} entries verified")
+        return 1 if bad else 0
+    if args.cache_op == "export":
+        keys = args.keys or None
+        if keys:
+            # `cache ls` prints 16-char prefixes — accept those here.
+            known = [entry.key for entry in store.entries()]
+            resolved = []
+            for key in keys:
+                matches = [k for k in known if k.startswith(key)]
+                if not matches:
+                    print(f"error: no store entry matches {key!r}", file=sys.stderr)
+                    return 2
+                if len(matches) > 1:
+                    print(
+                        f"error: ambiguous key prefix {key!r} "
+                        f"({len(matches)} matches)", file=sys.stderr,
+                    )
+                    return 2
+                resolved.append(matches[0])
+            keys = resolved
+        copied = store.export_entries(args.dest, keys=keys)
+        print(f"exported {copied} entr{'y' if copied == 1 else 'ies'} to {args.dest}")
+        return 0
+    if args.cache_op == "import":
+        imported = store.import_entries(args.src)
+        print(
+            f"imported {imported} entr{'y' if imported == 1 else 'ies'} "
+            f"from {args.src}"
+        )
+        return 0
+    print(f"error: unknown cache operation {args.cache_op!r}", file=sys.stderr)
+    return 2
+
+
 def cmd_hash(args: argparse.Namespace) -> int:
     path = Path(args.spec)
     if not path.exists():
@@ -376,6 +515,11 @@ def build_parser() -> argparse.ArgumentParser:
                                  "failure summary on stderr")
     run_parser.add_argument("--output", "-o", default=None,
                             help="write the report to a file instead of stdout")
+    run_parser.add_argument("--store", default=None,
+                            help="persistent artefact store directory: builds "
+                                 "are served from disk when present and "
+                                 "published there as they finish (also via "
+                                 "the REPRO_STORE environment variable)")
     run_parser.set_defaults(fn=cmd_run)
 
     list_parser = sub.add_parser("list", help="show registered names")
@@ -388,6 +532,52 @@ def build_parser() -> argparse.ArgumentParser:
     hash_parser = sub.add_parser("hash", help="canonical content hash of a spec file")
     hash_parser.add_argument("spec", help="path to a scenario .json file")
     hash_parser.set_defaults(fn=cmd_hash)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect/maintain a persistent artefact store"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_op", required=True)
+
+    def _cache_common(p):
+        p.add_argument("--store", default=None,
+                       help="store directory (default: $REPRO_STORE)")
+        p.set_defaults(fn=cmd_cache)
+
+    ls_parser = cache_sub.add_parser("ls", help="list stored builds")
+    ls_parser.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    _cache_common(ls_parser)
+
+    gc_parser = cache_sub.add_parser(
+        "gc", help="evict least-recently-used entries down to a budget "
+                   "(and drop quarantined .bad sidecars)"
+    )
+    gc_parser.add_argument("--max-bytes", default=None,
+                           help="payload budget, e.g. 500M or 2G")
+    gc_parser.add_argument("--max-entries", type=int, default=None,
+                           help="entry-count budget")
+    _cache_common(gc_parser)
+
+    verify_parser = cache_sub.add_parser(
+        "verify", help="re-check every entry (checksum + full decode against "
+                       "a regenerated netlist); damaged entries quarantine"
+    )
+    _cache_common(verify_parser)
+
+    export_parser = cache_sub.add_parser(
+        "export", help="copy entries into a store-shaped directory "
+                       "(shareable between machines)"
+    )
+    export_parser.add_argument("dest", help="destination store directory")
+    export_parser.add_argument("keys", nargs="*",
+                               help="build keys to export (default: all)")
+    _cache_common(export_parser)
+
+    import_parser = cache_sub.add_parser(
+        "import", help="copy entries from another store (checksums verified)"
+    )
+    import_parser.add_argument("src", help="source store directory")
+    _cache_common(import_parser)
     return parser
 
 

@@ -343,6 +343,35 @@ class ScenarioSpec:
         payload = json.dumps(self.build_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
+    @classmethod
+    def from_build_dict(cls, build: Mapping[str, Any]) -> "ScenarioSpec":
+        """The minimal spec whose :meth:`build_dict` equals ``build``.
+
+        Inverse of :meth:`build_dict` for the build-relevant subset (attack
+        /metric/layout fields stay at their defaults — they don't shape the
+        artefacts).  Used to rehydrate specs from artefact-store manifests:
+        ``ScenarioSpec.from_build_dict(m["build"]).build_key()`` recovers
+        the entry's key.
+        """
+        known = {"benchmark", "scale", "seed", "scheme", "scheme_params",
+                 "netlist_seed"}
+        unknown = sorted(set(build) - known)
+        if unknown:
+            raise TypeError(
+                f"unknown build dict field(s): {', '.join(unknown)}; "
+                f"accepted: {', '.join(sorted(known))}"
+            )
+        if "benchmark" not in build:
+            raise TypeError("build dicts require a 'benchmark' field")
+        return cls(
+            benchmark=build["benchmark"],
+            scheme=build.get("scheme", "proposed"),
+            scheme_params=build.get("scheme_params", {}),
+            scale=build.get("scale"),
+            seed=int(build.get("seed", 0)),
+            netlist_seed=build.get("netlist_seed"),
+        )
+
     def __hash__(self) -> int:
         # Explicit: the generated frozen-dataclass hash would choke on the
         # dict-valued scheme_params field (equal specs serialise equal).

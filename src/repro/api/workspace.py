@@ -36,6 +36,20 @@ Fault injection for testing the above lives in :mod:`repro.exec.chaos`: a
 crashes chosen build attempts.  Retries re-run the same deterministic build,
 so the bit-exactness contract is untouched: a sweep that recovers from
 faults returns results bit-identical to a fault-free run.
+
+Below the in-memory build cache sits an optional **disk tier**
+(:class:`~repro.store.ArtifactStore`, ``Workspace(store=...)`` or the
+``REPRO_STORE`` environment variable): lookups go memory → disk → build,
+every finished build is published to disk as it lands (workers included),
+and pool prewarms short-circuit on disk hits — both up front and again at
+dispatch time, so two processes sweeping against one shared store divide
+the work between them.  Loaded builds pass the full verification gates
+(payload checksum, format versions, regenerated-netlist fingerprint,
+``topology_version``) before they are trusted; anything that fails is
+quarantined on disk and rebuilt.  A *read-only* store
+(``REPRO_STORE_READONLY=1``) additionally forbids building: a miss raises
+:class:`~repro.exec.errors.BuildError`, which is how CI proves a rerun was
+served entirely from disk.
 """
 
 from __future__ import annotations
@@ -59,6 +73,7 @@ from repro.exec.retry import RetryPolicy, execute_with_retries
 from repro.exec.supervisor import PoolSupervisor, SupervisorReport, TaskSpec
 from repro.netlist.netlist import Netlist
 from repro.sm.split import extract_feol
+from repro.store import ArtifactStore, StoreError
 from repro.utils.degrade import warn_once
 
 _log = logging.getLogger(__name__)
@@ -370,11 +385,28 @@ def _supervised_build(key: str, payload: Mapping[str, Any], attempt: int):
     task payload — *not* the build dict, which is the cache-key payload —
     and is applied before the build so injected crashes kill the worker
     mid-task, exactly like a real native-code crash would.
+
+    When the payload names a disk store, the worker checks it before
+    building (a hit short-circuits the whole build — another worker or
+    process already paid for it) and publishes its finished build to it —
+    publish-as-you-go extends to disk, so completed work survives even a
+    parent crash.
     """
     chaos = payload.get("chaos")
     if chaos:
         FaultPlan.from_dict(chaos).inject(payload["label"], attempt)
-    return _build_scheme(payload["build"])
+    store = ArtifactStore.from_worker_payload(payload.get("store"))
+    if store is not None:
+        cached = store.load(key)
+        if cached is not None:
+            return cached
+    built = _build_scheme(payload["build"])
+    if store is not None:
+        try:
+            store.save(key, built, payload["build"], built.layout.netlist)
+        except StoreError:
+            pass  # the parent's own save will warn if the root is unusable
+    return built
 
 
 def _supervised_batch_build(key: str, payload: Mapping[str, Any], attempt: int):
@@ -468,16 +500,28 @@ class Workspace:
             deterministic faults into builds (tests, resilience drills).
             Defaults to the plan configured via the ``REPRO_CHAOS``
             environment variable, if any.
+        store: Disk tier below the in-memory build cache: an
+            :class:`~repro.store.ArtifactStore`, or a path to open one at.
+            Defaults to the store named by the ``REPRO_STORE`` environment
+            variable (no disk tier when that is unset too).  Lookups go
+            memory → disk → build; finished builds are published to disk as
+            they land.  A read-only store forbids building on a miss.
     """
 
     def __init__(self, *, jobs: Optional[int] = None,
                  retry: Optional[RetryPolicy] = None,
                  on_error: str = "raise",
-                 chaos: Optional[FaultPlan] = None):
+                 chaos: Optional[FaultPlan] = None,
+                 store: Optional[Any] = None):
         self.default_jobs = jobs
         self.retry = retry if retry is not None else RetryPolicy()
         self.on_error = _coerce_on_error(on_error)
         self.chaos = chaos if chaos is not None else FaultPlan.from_env()
+        if store is None:
+            store = ArtifactStore.from_env()
+        elif not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        self.store: Optional[ArtifactStore] = store
         self.last_report: Optional[SupervisorReport] = None
         self._builds: Dict[str, Any] = {}
         self._scenarios: Dict[str, ScenarioResult] = {}
@@ -488,6 +532,7 @@ class Workspace:
         self._stats = {
             "build_hits": 0, "build_misses": 0,
             "scenario_hits": 0, "scenario_misses": 0,
+            "store_hits": 0, "store_misses": 0,
         }
 
     # -- artefact cache ----------------------------------------------------
@@ -501,13 +546,64 @@ class Workspace:
             return dict(self._stats)
 
     def clear(self) -> None:
-        """Drop every cached build, scenario result, netlist and quarantine."""
+        """Drop every cached build, scenario result, netlist and quarantine.
+
+        The disk tier is untouched: a cleared workspace re-serves its builds
+        from the store (this is exactly how resumed sweeps work).
+        """
         with self._lock:
             self._builds.clear()
             self._scenarios.clear()
             self._netlists.clear()
             self._quarantined.clear()
             self._failures.clear()
+
+    # -- disk tier ---------------------------------------------------------
+
+    def _store_load(self, key: str, spec: ScenarioSpec, *,
+                    count_miss: bool = True):
+        """Fetch ``key`` from the disk tier (verified), or ``None``."""
+        store = self.store
+        if store is None:
+            return None
+        if not store.has(key):
+            if count_miss:
+                with self._lock:
+                    self._stats["store_misses"] += 1
+            return None
+        netlist = self.netlist(
+            spec.benchmark, seed=spec.effective_netlist_seed, scale=spec.scale
+        )
+        built = store.load(key, netlist)
+        with self._lock:
+            if built is not None:
+                self._stats["store_hits"] += 1
+            elif count_miss:
+                self._stats["store_misses"] += 1
+        return built
+
+    def _store_save(self, key: str, build_dict: Mapping[str, Any],
+                    built: Any) -> None:
+        """Publish a finished build to the disk tier (best effort)."""
+        store = self.store
+        if store is None or store.readonly:
+            return
+        try:
+            store.save(key, built, build_dict, built.layout.netlist)
+        except StoreError as error:
+            warn_once(
+                _log, "workspace.store.save",
+                f"artefact store at {store.root} is unusable ({error}); "
+                "continuing with the in-memory cache only",
+            )
+
+    def _readonly_error(self, spec: ScenarioSpec, key: str) -> BuildError:
+        return BuildError(
+            f"build of {build_label(spec)} is forbidden: the artefact store "
+            f"is read-only (REPRO_STORE_READONLY) and has no entry for "
+            f"{key[:12]}",
+            build_key=key, label=build_label(spec),
+        )
 
     # -- failure bookkeeping -----------------------------------------------
 
@@ -560,10 +656,12 @@ class Workspace:
     def build(self, spec: ScenarioSpec):
         """The :class:`~repro.api.schemes.SchemeBuild` for ``spec`` (cached).
 
-        Cache misses run under the workspace's retry policy (and fault
-        plan); a build that exhausts its attempt budget raises (and stays)
-        a quarantined :class:`~repro.exec.errors.BuildError` — clear it
-        with :meth:`clear_quarantine` to allow another try.
+        Lookups go memory → disk tier → build.  Cache misses run under the
+        workspace's retry policy (and fault plan); a build that exhausts
+        its attempt budget raises (and stays) a quarantined
+        :class:`~repro.exec.errors.BuildError` — clear it with
+        :meth:`clear_quarantine` to allow another try.  With a *read-only*
+        store a full miss raises instead of building.
         """
         ensure_builtins()
         key = spec.build_key()
@@ -575,6 +673,15 @@ class Workspace:
             quarantined = self._quarantined.get(key)
         if quarantined is not None:
             raise quarantined
+        stored = self._store_load(key, spec)
+        if stored is not None:
+            with self._lock:
+                return self._builds.setdefault(key, stored)
+        if self.store is not None and self.store.readonly:
+            error = self._readonly_error(spec, key)
+            with self._lock:
+                self._quarantined[key] = error
+            raise error
         entry = DEFENSES.get(spec.scheme)
         params = entry.make_params(spec.scheme_params)
         label = build_label(spec)
@@ -598,6 +705,7 @@ class Workspace:
         with self._lock:
             built = self._builds.setdefault(key, built)
             self._quarantined.pop(key, None)
+        self._store_save(key, spec.build_dict(), built)
         self._publish_baseline(spec, built)
         return built
 
@@ -621,11 +729,16 @@ class Workspace:
             scale=spec.scale, seed=spec.seed, netlist_seed=spec.netlist_seed,
         )
         original = built.protection.original_layout
+        original_key = original_spec.build_key()
+        original_build = SchemeBuild(
+            scheme="original", layout=original, baseline=original
+        )
         with self._lock:
-            self._builds.setdefault(
-                original_spec.build_key(),
-                SchemeBuild(scheme="original", layout=original, baseline=original),
-            )
+            original_build = self._builds.setdefault(original_key, original_build)
+        # The proposed build itself is unstorable (it carries the full
+        # ProtectionResult), but its original layout is a plain storable
+        # build — publish it so sibling scenarios' baselines come from disk.
+        self._store_save(original_key, original_spec.build_dict(), original_build)
 
     def protection(self, benchmark: str,
                    config: Optional[ProtectionConfig] = None,
@@ -679,8 +792,7 @@ class Workspace:
             groups.setdefault(group_key, []).append((key, spec))
         return [members for members in groups.values() if len(members) >= 2]
 
-    @staticmethod
-    def _single_task(key: str, spec: ScenarioSpec,
+    def _single_task(self, key: str, spec: ScenarioSpec,
                      chaos_payload: Optional[Dict[str, Any]],
                      start_attempt: int = 0) -> TaskSpec:
         return TaskSpec(
@@ -690,6 +802,10 @@ class Workspace:
                 "build": spec.build_dict(),
                 "chaos": chaos_payload,
                 "label": build_label(spec),
+                "store": (
+                    self.store.worker_payload()
+                    if self.store is not None else None
+                ),
             },
             start_attempt=start_attempt,
         )
@@ -715,13 +831,20 @@ class Workspace:
         params = entry.make_params(build["scheme_params"])
         builds = builds_from_placement_deltas(netlist, params, deltas)
         key_by_seed = {spec.seed: key for key, spec in meta["members"]}
+        spec_by_key = {key: spec for key, spec in meta["members"]}
         keys: List[str] = []
+        published: List[Tuple[str, Any]] = []
         with self._lock:
             for seed, built in zip(deltas["seeds"], builds):
                 key = key_by_seed[seed]
-                self._builds.setdefault(key, built)
+                built = self._builds.setdefault(key, built)
                 self._quarantined.pop(key, None)
                 keys.append(key)
+                published.append((key, built))
+        # Chunk workers ship deltas, not full builds, so the parent is the
+        # one that can publish the reconstructed artefacts to disk.
+        for key, built in published:
+            self._store_save(key, spec_by_key[key].build_dict(), built)
         return keys
 
     def _prewarm_batches(self, specs: Sequence[ScenarioSpec]) -> None:
@@ -746,6 +869,7 @@ class Workspace:
                 key: spec for key, spec in distinct.items()
                 if key not in self._builds
             }
+        missing = self._resolve_from_store(missing)
         groups = self._batch_groups(missing)
         if not groups:
             return
@@ -777,10 +901,30 @@ class Workspace:
                     build_label(first), seeds, type(error).__name__, error,
                 )
                 continue
+            published: List[Tuple[str, ScenarioSpec, Any]] = []
             with self._lock:
-                for (key, _spec), built in zip(members, builds):
+                for (key, spec), built in zip(members, builds):
+                    built = self._builds.setdefault(key, built)
+                    self._quarantined.pop(key, None)
+                    published.append((key, spec, built))
+            for key, spec, built in published:
+                self._store_save(key, spec.build_dict(), built)
+
+    def _resolve_from_store(self, missing: Dict[str, ScenarioSpec]
+                            ) -> Dict[str, ScenarioSpec]:
+        """Serve what the disk tier has; return the keys still missing."""
+        if self.store is None or not missing:
+            return missing
+        still: Dict[str, ScenarioSpec] = {}
+        for key, spec in missing.items():
+            built = self._store_load(key, spec)
+            if built is not None:
+                with self._lock:
                     self._builds.setdefault(key, built)
                     self._quarantined.pop(key, None)
+            else:
+                still[key] = spec
+        return still
 
     # -- parallel prewarm --------------------------------------------------
 
@@ -819,12 +963,28 @@ class Workspace:
             missing = {
                 key: spec for key, spec in distinct.items() if key not in self._builds
             }
+        on_error = _coerce_on_error(on_error if on_error is not None else self.on_error)
+        # Disk tier first: anything a previous run (or another machine)
+        # already built short-circuits the pool entirely.
+        missing = self._resolve_from_store(missing)
         if not missing:
+            return []
+        if self.store is not None and self.store.readonly:
+            # Verification mode: a read-only store forbids building.
+            first_error: Optional[BuildError] = None
+            for key, spec in missing.items():
+                error = self._readonly_error(spec, key)
+                with self._lock:
+                    self._quarantined[key] = error
+                self._record_failure(FailureRecord.from_spec(spec, error))
+                if first_error is None:
+                    first_error = error
+            if on_error == "raise" and first_error is not None:
+                raise first_error
             return []
         jobs = jobs if jobs is not None else (self.default_jobs or default_jobs())
         jobs = max(1, min(jobs, len(missing)))
         policy = policy if policy is not None else self.retry
-        on_error = _coerce_on_error(on_error if on_error is not None else self.on_error)
         chaos_payload = self.chaos.to_dict() if self.chaos is not None else None
 
         # Batchable builds (same netlist, same params, different seed) travel
@@ -887,8 +1047,20 @@ class Workspace:
             published.add(key)
             self._publish_baseline(missing[key], built)
 
+        def probe_store(task: TaskSpec):
+            """Late disk check at dispatch time (single-build tasks only).
+
+            Catches entries that appeared after the batch was assembled —
+            a concurrent process sweeping against the same shared store.
+            """
+            spec = missing.get(task.key)
+            if spec is None or self.store is None:
+                return None
+            return self._store_load(task.key, spec, count_miss=False)
+
         supervisor = PoolSupervisor(
-            _supervised_task, jobs=jobs, policy=policy, on_result=publish
+            _supervised_task, jobs=jobs, policy=policy, on_result=publish,
+            short_circuit=probe_store,
         )
         report = supervisor.run(tasks)
 
@@ -938,6 +1110,7 @@ class Workspace:
             retry_supervisor = PoolSupervisor(
                 _supervised_task, jobs=retry_jobs,
                 policy=policy, on_result=publish, isolate=crash_suspected,
+                short_circuit=probe_store,
             )
             retry_report = retry_supervisor.run(retries)
             outcomes.update(retry_report.outcomes)

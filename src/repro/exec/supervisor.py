@@ -116,13 +116,23 @@ class PoolSupervisor:
             process* instead of in-process — for batches suspected to
             contain a worker-killer, where a crash must charge only the
             task that crashed and must not take the supervisor down.
+        short_circuit: Optional probe called as ``short_circuit(task)`` in
+            the supervisor process immediately before each task would
+            consume an attempt.  A non-``None`` return completes the task
+            with that value — no attempt charged, ``on_result`` delivered
+            as usual.  Used for late cache checks: work that became
+            available after the batch was assembled (e.g. a concurrent
+            process published it to a shared artefact store) is skipped
+            instead of rebuilt.  A probe that raises is logged and
+            ignored — the task then simply runs.
     """
 
     def __init__(self, fn: Callable[..., Any], *, jobs: int,
                  policy: Optional[RetryPolicy] = None,
                  on_result: Optional[Callable[[str, Any], None]] = None,
                  max_respawns: int = 3, poll_s: float = 0.05,
-                 isolate: bool = False):
+                 isolate: bool = False,
+                 short_circuit: Optional[Callable[[TaskSpec], Any]] = None):
         self.fn = fn
         self.jobs = max(1, jobs)
         self.isolate = isolate
@@ -130,6 +140,7 @@ class PoolSupervisor:
         self.on_result = on_result
         self.max_respawns = max_respawns
         self.poll_s = poll_s
+        self.short_circuit = short_circuit
 
     # -- public ------------------------------------------------------------
 
@@ -185,6 +196,24 @@ class PoolSupervisor:
         executor.shutdown(wait=False, cancel_futures=True)
 
     # -- outcome bookkeeping -----------------------------------------------
+
+    def _probe_short_circuit(self, state: _TaskState,
+                             report: SupervisorReport) -> bool:
+        """True when the task was completed by the short-circuit probe."""
+        if self.short_circuit is None:
+            return False
+        try:
+            value = self.short_circuit(state.task)
+        except Exception:  # noqa: BLE001 - probe failure must not sink the task
+            log.warning(
+                "short-circuit probe for %s failed; running the task",
+                state.task.display(), exc_info=True,
+            )
+            return False
+        if value is None:
+            return False
+        self._succeed(state, value, report)
+        return True
 
     def _succeed(self, state: _TaskState, value: Any,
                  report: SupervisorReport) -> None:
@@ -245,6 +274,8 @@ class PoolSupervisor:
                 if state.not_before > now:
                     queue.append(key)
                     rotations += 1
+                    continue
+                if self._probe_short_circuit(state, report):
                     continue
                 state.attempts += 1
                 try:
@@ -392,6 +423,8 @@ class PoolSupervisor:
         while queue:
             key = queue.popleft()
             state = states[key]
+            if self._probe_short_circuit(state, report):
+                continue
             while key not in report.outcomes:
                 delay = state.not_before - time.monotonic()
                 if delay > 0:

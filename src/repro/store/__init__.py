@@ -1,0 +1,39 @@
+"""Persistent, content-addressed artefact store (disk tier of the cache).
+
+See :mod:`repro.store.store` for the on-disk layout and contracts and
+:mod:`repro.store.codec` for the columnar payload format.
+"""
+
+from repro.store.codec import (
+    CODEC_FORMAT_VERSION,
+    CodecError,
+    StaleEntry,
+    UnstorableBuild,
+    decode_build,
+    encode_build,
+    netlist_fingerprint,
+)
+from repro.store.store import (
+    STORE_FORMAT_VERSION,
+    ArtifactStore,
+    ReadOnlyStoreError,
+    StoreEntry,
+    StoreError,
+    regenerate_netlist,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "StoreEntry",
+    "StoreError",
+    "ReadOnlyStoreError",
+    "UnstorableBuild",
+    "CodecError",
+    "StaleEntry",
+    "encode_build",
+    "decode_build",
+    "netlist_fingerprint",
+    "regenerate_netlist",
+    "CODEC_FORMAT_VERSION",
+    "STORE_FORMAT_VERSION",
+]

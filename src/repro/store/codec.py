@@ -1,0 +1,688 @@
+"""Columnar (de)serialization of scheme builds for the artefact store.
+
+A stored build is split into two parts, mirroring the PR-6 skeleton/delta
+protocol the pool workers already use:
+
+* a **skeleton record** — the structural columns that are implied by the
+  netlist and the routing topology: which net each routed entry belongs to,
+  the sink reference of every 2-pin connection, the per-connection segment
+  and via counts.  Everything here is an *index* into the deterministic
+  regeneration of the benchmark netlist (``get_benchmark(benchmark,
+  netlist_seed, scale)``), so no gate or net name is ever stored twice;
+* the **coordinate columns** — flat ``float64`` arrays of placement
+  positions and routed segment/via geometry.  ``float64`` survives the
+  ``.npz`` round trip bit-exactly, which is what makes a disk-loaded build
+  indistinguishable from the in-memory one.
+
+:func:`encode_build` flattens a :class:`~repro.api.schemes.SchemeBuild`
+into ``(record, arrays)`` — a JSON-compatible metadata record plus a dict
+of NumPy arrays — and :func:`decode_build` reverses it against a freshly
+regenerated netlist, materializing ordinary :class:`~repro.layout.layout.
+Layout` / :class:`~repro.layout.placer.PlacementResult` /
+:class:`~repro.layout.router.RoutedNet` objects through the same fast
+constructors the vectorized router uses (:func:`repro.layout.router.
+_new_segments` / ``_new_vias``).
+
+Builds that carry state the columnar format cannot represent — today the
+``proposed`` scheme's full :class:`~repro.core.flow.ProtectionResult` —
+raise :class:`UnstorableBuild`; callers degrade to the plain in-memory
+path.  A payload that *should* decode but does not (truncated arrays,
+foreign netlist, future format) raises :class:`CodecError` /
+:class:`StaleEntry`, which the store layer turns into quarantine-and-
+rebuild, never a crash.
+
+Bit-exactness gates baked into every decode:
+
+* the **netlist fingerprint** — a SHA-256 over the regenerated netlist's
+  complete structure (gate order, cells, connectivity, ports) must equal
+  the fingerprint recorded at encode time.  Any change to the benchmark
+  generators invalidates every entry they produced, by construction;
+* ``topology_version`` of the regenerated netlist and the recorded
+  placement/layout ``geometry_version`` counters are carried through, so
+  the columnar-view invalidation contract keeps working on loaded builds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import weakref
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.layout.floorplan import Floorplan
+from repro.layout.geometry import Point, Rect
+from repro.layout.layout import Layout
+from repro.layout.placer import PlacementResult, PlacerConfig
+from repro.layout.router import (
+    RoutedConnection,
+    RoutedNet,
+    _new_segments,
+    _new_vias,
+)
+from repro.netlist.netlist import Netlist
+
+#: Bump on ANY change to the payload schema or to the meaning of a stored
+#: column.  Entries written under a different format version never decode —
+#: they are treated as misses (see ``repro.store.store``).  The rules:
+#: adding arrays/record keys that old readers would silently ignore is NOT
+#: compatible (bit-exactness would be unverifiable) — every schema change
+#: bumps this constant.
+CODEC_FORMAT_VERSION = 1
+
+
+class UnstorableBuild(Exception):
+    """The build holds state the columnar payload cannot represent.
+
+    Not an error condition: callers skip the disk tier for such builds and
+    keep them purely in memory.
+    """
+
+
+class CodecError(Exception):
+    """A payload that should decode does not (corrupt / truncated / foreign)."""
+
+
+class StaleEntry(CodecError):
+    """The payload decodes but its invalidation gates no longer match.
+
+    Raised when the regenerated netlist's fingerprint or
+    ``topology_version`` differs from the recorded one — i.e. the benchmark
+    generator (or a structural-edit path feeding it) changed since the
+    entry was written.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Netlist fingerprint
+# ---------------------------------------------------------------------------
+
+#: Fingerprint memo keyed by netlist identity, invalidated through the
+#: netlist's own ``topology_version`` edit counter — the same contract the
+#: vectorized simulation engine keys its compiled-plan caches on.  A seed
+#: sweep replays N entries against ONE regenerated netlist; without the memo
+#: every load re-hashes the full structure.
+_fingerprint_memo: "weakref.WeakKeyDictionary[Netlist, Tuple[int, str]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def netlist_fingerprint(netlist: Netlist) -> str:
+    """SHA-256 over the netlist's complete structure, order included.
+
+    Gate and net *iteration order* is part of the fingerprint: the codec
+    stores positions and routing as indices into ``list(netlist.gates)`` /
+    ``list(netlist.nets)``, so a reordered regeneration is as stale as a
+    rewired one.
+    """
+    cached = _fingerprint_memo.get(netlist)
+    if cached is not None and cached[0] == netlist.topology_version:
+        return cached[1]
+    doc = {
+        "name": netlist.name,
+        "gates": [
+            [g.name, g.cell.name, sorted(g.connections.items()), bool(g.dont_touch)]
+            for g in netlist.gates.values()
+        ],
+        "nets": [
+            [
+                n.name,
+                list(n.driver) if n.driver is not None else None,
+                [list(sink) for sink in n.sinks],
+                bool(n.is_primary_input),
+                list(n.primary_outputs),
+            ]
+            for n in netlist.nets.values()
+        ],
+        "primary_inputs": list(netlist.primary_inputs),
+        "primary_outputs": list(netlist.primary_outputs),
+        "output_nets": sorted(netlist.output_nets.items()),
+    }
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    _fingerprint_memo[netlist] = (netlist.topology_version, digest)
+    return digest
+
+
+# ---------------------------------------------------------------------------
+# JSON-safe metadata encoding (tuples survive the round trip)
+# ---------------------------------------------------------------------------
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _encode_jsonable(value: Any) -> Any:
+    """Encode free-form metadata so the round trip is type-exact.
+
+    JSON alone would flatten tuples into lists; layouts put tuples in their
+    ``metadata`` (e.g. swapped port pairs), and the bit-identical contract
+    covers them.  Anything outside the supported closed set raises
+    :class:`UnstorableBuild`.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_jsonable(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise UnstorableBuild(
+                    f"metadata mapping key {key!r} is not a string"
+                )
+        return {key: _encode_jsonable(v) for key, v in value.items()}
+    raise UnstorableBuild(
+        f"metadata value of type {type(value).__name__} is not storable"
+    )
+
+
+def _decode_jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__tuple__"}:
+            return tuple(_decode_jsonable(v) for v in value["__tuple__"])
+        return {key: _decode_jsonable(v) for key, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_jsonable(v) for v in value]
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Layout encoding
+# ---------------------------------------------------------------------------
+
+def _encode_layout(layout: Layout, netlist: Netlist,
+                   arrays: Dict[str, np.ndarray], prefix: str) -> Dict[str, Any]:
+    gate_index = {name: i for i, name in enumerate(netlist.gates)}
+    net_index = {name: i for i, name in enumerate(netlist.nets)}
+
+    placement = layout.placement
+    try:
+        gate_order = np.fromiter(
+            (gate_index[name] for name in placement.gate_positions),
+            dtype=np.int64, count=len(placement.gate_positions),
+        )
+    except KeyError as error:
+        raise UnstorableBuild(f"placement gate {error} unknown to the netlist")
+    arrays[prefix + "gate_order"] = gate_order
+    arrays[prefix + "gate_x"] = np.fromiter(
+        (p.x for p in placement.gate_positions.values()),
+        dtype=np.float64, count=len(placement.gate_positions),
+    )
+    arrays[prefix + "gate_y"] = np.fromiter(
+        (p.y for p in placement.gate_positions.values()),
+        dtype=np.float64, count=len(placement.gate_positions),
+    )
+    arrays[prefix + "port_names"] = np.array(
+        list(placement.port_positions), dtype=np.str_
+    )
+    arrays[prefix + "port_x"] = np.fromiter(
+        (p.x for p in placement.port_positions.values()),
+        dtype=np.float64, count=len(placement.port_positions),
+    )
+    arrays[prefix + "port_y"] = np.fromiter(
+        (p.y for p in placement.port_positions.values()),
+        dtype=np.float64, count=len(placement.port_positions),
+    )
+
+    # -- routing: skeleton columns + coordinate columns --------------------
+    rnet_net: List[int] = []
+    rnet_driver = np.empty((len(layout.routing), 2), dtype=np.float64)
+    rnet_has_driver: List[bool] = []
+    rnet_conn_count: List[int] = []
+    rnet_dvia_count: List[int] = []
+    sink_tokens: Dict[str, int] = {}
+    conn_net: List[int] = []
+    conn_sink_gate: List[int] = []
+    conn_sink_token: List[int] = []
+    conn_layers: List[Tuple[int, int]] = []
+    conn_coords: List[Tuple[float, float, float, float]] = []
+    conn_hints: List[Tuple[float, float, float, float]] = []
+    conn_hint_mask: List[Tuple[bool, bool]] = []
+    conn_protected: List[bool] = []
+    conn_seg_count: List[int] = []
+    conn_via_count: List[int] = []
+    seg_rows: List[Tuple[int, float, float, float, float]] = []
+    via_rows: List[Tuple[float, float, int]] = []
+    dvia_rows: List[Tuple[float, float, int]] = []
+
+    def token(text: str) -> int:
+        return sink_tokens.setdefault(text, len(sink_tokens))
+
+    try:
+        for index, (net_name, routed) in enumerate(layout.routing.items()):
+            rnet_net.append(net_index[net_name])
+            if routed.name != net_name:
+                raise UnstorableBuild(
+                    f"routed net {routed.name!r} stored under key {net_name!r}"
+                )
+            if routed.driver_point is not None:
+                rnet_has_driver.append(True)
+                rnet_driver[index, 0] = routed.driver_point.x
+                rnet_driver[index, 1] = routed.driver_point.y
+            else:
+                rnet_has_driver.append(False)
+                rnet_driver[index, 0] = rnet_driver[index, 1] = 0.0
+            rnet_conn_count.append(len(routed.connections))
+            rnet_dvia_count.append(len(routed.driver_vias))
+            for via in routed.driver_vias:
+                dvia_rows.append((via.x, via.y, via.lower))
+            for conn in routed.connections:
+                conn_net.append(net_index[conn.net])
+                first, second = conn.sink
+                if first == "PO":
+                    conn_sink_gate.append(-1)
+                else:
+                    conn_sink_gate.append(gate_index[first])
+                conn_sink_token.append(token(second))
+                conn_layers.append((conn.h_layer, conn.v_layer))
+                conn_coords.append((
+                    conn.source.x, conn.source.y, conn.target.x, conn.target.y
+                ))
+                src_hint = conn.source_hint
+                tgt_hint = conn.target_hint
+                conn_hint_mask.append((src_hint is not None, tgt_hint is not None))
+                conn_hints.append((
+                    src_hint.x if src_hint is not None else 0.0,
+                    src_hint.y if src_hint is not None else 0.0,
+                    tgt_hint.x if tgt_hint is not None else 0.0,
+                    tgt_hint.y if tgt_hint is not None else 0.0,
+                ))
+                conn_protected.append(bool(conn.protected))
+                conn_seg_count.append(len(conn.segments))
+                conn_via_count.append(len(conn.vias))
+                for seg in conn.segments:
+                    seg_rows.append((seg.layer, seg.x1, seg.y1, seg.x2, seg.y2))
+                for via in conn.vias:
+                    via_rows.append((via.x, via.y, via.lower))
+    except KeyError as error:
+        raise UnstorableBuild(f"routing references unknown name: {error}")
+
+    arrays[prefix + "rnet_net"] = np.asarray(rnet_net, dtype=np.int64)
+    arrays[prefix + "rnet_driver"] = rnet_driver
+    arrays[prefix + "rnet_has_driver"] = np.asarray(rnet_has_driver, dtype=np.uint8)
+    arrays[prefix + "rnet_conn_count"] = np.asarray(rnet_conn_count, dtype=np.int64)
+    arrays[prefix + "rnet_dvia_count"] = np.asarray(rnet_dvia_count, dtype=np.int64)
+    arrays[prefix + "sink_tokens"] = np.array(
+        sorted(sink_tokens, key=sink_tokens.get), dtype=np.str_
+    )
+    arrays[prefix + "conn_net"] = np.asarray(conn_net, dtype=np.int64)
+    arrays[prefix + "conn_sink_gate"] = np.asarray(conn_sink_gate, dtype=np.int64)
+    arrays[prefix + "conn_sink_token"] = np.asarray(conn_sink_token, dtype=np.int64)
+    arrays[prefix + "conn_layers"] = np.asarray(
+        conn_layers, dtype=np.int16
+    ).reshape(-1, 2)
+    arrays[prefix + "conn_coords"] = np.asarray(
+        conn_coords, dtype=np.float64
+    ).reshape(-1, 4)
+    arrays[prefix + "conn_hints"] = np.asarray(
+        conn_hints, dtype=np.float64
+    ).reshape(-1, 4)
+    arrays[prefix + "conn_hint_mask"] = np.asarray(
+        conn_hint_mask, dtype=np.uint8
+    ).reshape(-1, 2)
+    arrays[prefix + "conn_protected"] = np.asarray(conn_protected, dtype=np.uint8)
+    arrays[prefix + "conn_seg_count"] = np.asarray(conn_seg_count, dtype=np.int64)
+    arrays[prefix + "conn_via_count"] = np.asarray(conn_via_count, dtype=np.int64)
+    arrays[prefix + "seg_rows"] = np.asarray(
+        seg_rows, dtype=np.float64
+    ).reshape(-1, 5)
+    arrays[prefix + "via_rows"] = np.asarray(
+        via_rows, dtype=np.float64
+    ).reshape(-1, 3)
+    arrays[prefix + "dvia_rows"] = np.asarray(
+        dvia_rows, dtype=np.float64
+    ).reshape(-1, 3)
+
+    try:
+        protected = sorted(net_index[name] for name in layout.protected_nets)
+    except KeyError as error:
+        raise UnstorableBuild(f"protected net {error} unknown to the netlist")
+    arrays[prefix + "protected_nets"] = np.asarray(protected, dtype=np.int64)
+
+    floorplan = placement.floorplan
+    config = placement.config
+    return {
+        "name": layout.name,
+        "lift_layer": layout.lift_layer,
+        "metadata": _encode_jsonable(layout.metadata),
+        "geometry_version": layout.geometry_version,
+        "placement": {
+            "geometry_version": placement.geometry_version,
+            "floorplan": {
+                "die": [floorplan.die.x_min, floorplan.die.y_min,
+                        floorplan.die.x_max, floorplan.die.y_max],
+                "num_rows": floorplan.num_rows,
+                "sites_per_row": floorplan.sites_per_row,
+                "row_height_um": floorplan.row_height_um,
+                "site_width_um": floorplan.site_width_um,
+                "utilization": floorplan.utilization,
+            },
+            "config": {
+                "ordering": config.ordering,
+                "refinement_rounds": config.refinement_rounds,
+                "iterations_per_round": config.iterations_per_round,
+                "damping": config.damping,
+                "max_fanout_for_attraction": config.max_fanout_for_attraction,
+                "seed": config.seed,
+            },
+        },
+    }
+
+
+def _require(arrays: Mapping[str, np.ndarray], name: str) -> np.ndarray:
+    try:
+        return arrays[name]
+    except KeyError:
+        raise CodecError(f"payload is missing array {name!r}")
+
+
+def _decode_layout(record: Mapping[str, Any], arrays: Mapping[str, np.ndarray],
+                   netlist: Netlist, prefix: str) -> Layout:
+    gate_names = list(netlist.gates)
+    net_names = list(netlist.nets)
+
+    # Same __dict__ fast path as the router's bulk constructors: Point is a
+    # frozen dataclass whose generated __init__ funnels every field through
+    # object.__setattr__, and decode builds one Point per gate/port plus up
+    # to four per routed connection — it dominates at superblue scale.
+    _point_new = Point.__new__
+
+    def fast_point(x: float, y: float) -> Point:
+        point = _point_new(Point)
+        d = point.__dict__
+        d["x"] = x
+        d["y"] = y
+        return point
+
+    try:
+        placement_record = record["placement"]
+        fp = placement_record["floorplan"]
+        floorplan = Floorplan(
+            die=Rect(*fp["die"]),
+            num_rows=fp["num_rows"],
+            sites_per_row=fp["sites_per_row"],
+            row_height_um=fp["row_height_um"],
+            site_width_um=fp["site_width_um"],
+            utilization=fp["utilization"],
+        )
+        config = PlacerConfig(**placement_record["config"])
+    except (KeyError, TypeError) as error:
+        raise CodecError(f"malformed placement record: {error!r}")
+
+    gate_order = _require(arrays, prefix + "gate_order")
+    gate_x = _require(arrays, prefix + "gate_x").tolist()
+    gate_y = _require(arrays, prefix + "gate_y").tolist()
+    if not (len(gate_order) == len(gate_x) == len(gate_y)):
+        raise CodecError("placement coordinate columns are misaligned")
+    try:
+        gate_positions = {
+            gate_names[index]: fast_point(x, y)
+            for index, x, y in zip(gate_order.tolist(), gate_x, gate_y)
+        }
+    except IndexError:
+        raise CodecError("gate index out of range for the regenerated netlist")
+    port_names = _require(arrays, prefix + "port_names").tolist()
+    port_x = _require(arrays, prefix + "port_x").tolist()
+    port_y = _require(arrays, prefix + "port_y").tolist()
+    if not (len(port_names) == len(port_x) == len(port_y)):
+        raise CodecError("port coordinate columns are misaligned")
+    port_positions = {
+        name: fast_point(x, y) for name, x, y in zip(port_names, port_x, port_y)
+    }
+    placement = PlacementResult(
+        floorplan, gate_positions, port_positions, config,
+        geometry_version=int(placement_record.get("geometry_version", 0)),
+    )
+
+    # -- routing -----------------------------------------------------------
+    rnet_net = _require(arrays, prefix + "rnet_net").tolist()
+    rnet_driver = _require(arrays, prefix + "rnet_driver")
+    rnet_has_driver = _require(arrays, prefix + "rnet_has_driver").tolist()
+    rnet_conn_count = _require(arrays, prefix + "rnet_conn_count").tolist()
+    rnet_dvia_count = _require(arrays, prefix + "rnet_dvia_count").tolist()
+    sink_tokens = _require(arrays, prefix + "sink_tokens").tolist()
+    conn_net = _require(arrays, prefix + "conn_net").tolist()
+    conn_sink_gate = _require(arrays, prefix + "conn_sink_gate").tolist()
+    conn_sink_token = _require(arrays, prefix + "conn_sink_token").tolist()
+    conn_layers = _require(arrays, prefix + "conn_layers")
+    conn_coords = _require(arrays, prefix + "conn_coords")
+    conn_hints = _require(arrays, prefix + "conn_hints")
+    conn_hint_mask = _require(arrays, prefix + "conn_hint_mask")
+    conn_protected = _require(arrays, prefix + "conn_protected").tolist()
+    conn_seg_count = _require(arrays, prefix + "conn_seg_count").tolist()
+    conn_via_count = _require(arrays, prefix + "conn_via_count").tolist()
+    seg_rows = _require(arrays, prefix + "seg_rows")
+    via_rows = _require(arrays, prefix + "via_rows")
+    dvia_rows = _require(arrays, prefix + "dvia_rows")
+
+    n_conns = len(conn_net)
+    if not (
+        n_conns == len(conn_sink_gate) == len(conn_sink_token)
+        == len(conn_layers) == len(conn_coords) == len(conn_hints)
+        == len(conn_hint_mask) == len(conn_protected)
+        == len(conn_seg_count) == len(conn_via_count)
+    ):
+        raise CodecError("connection columns are misaligned")
+    if sum(rnet_conn_count) != n_conns:
+        raise CodecError("per-net connection counts do not cover the table")
+    if sum(conn_seg_count) != len(seg_rows):
+        raise CodecError("segment counts do not cover the segment table")
+    if sum(conn_via_count) != len(via_rows):
+        raise CodecError("via counts do not cover the via table")
+    if sum(rnet_dvia_count) != len(dvia_rows):
+        raise CodecError("driver-via counts do not cover the table")
+    if (conn_layers.ndim != 2 or conn_layers.shape[1] != 2
+            or conn_coords.ndim != 2 or conn_coords.shape[1] != 4
+            or conn_hints.ndim != 2 or conn_hints.shape[1] != 4
+            or conn_hint_mask.ndim != 2 or conn_hint_mask.shape[1] != 2
+            or rnet_driver.ndim != 2 or rnet_driver.shape[1] != 2):
+        raise CodecError("connection columns have unexpected shapes")
+
+    # Split every 2-D column block into flat Python lists up front: one flat
+    # ``tolist`` per column is far cheaper than a nested row-of-lists
+    # ``tolist`` plus per-row unpacking in the decode loop.
+    rdrv_x = rnet_driver[:, 0].tolist()
+    rdrv_y = rnet_driver[:, 1].tolist()
+    conn_h_layer = conn_layers[:, 0].tolist()
+    conn_v_layer = conn_layers[:, 1].tolist()
+    conn_sx = conn_coords[:, 0].tolist()
+    conn_sy = conn_coords[:, 1].tolist()
+    conn_tx = conn_coords[:, 2].tolist()
+    conn_ty = conn_coords[:, 3].tolist()
+    conn_hsx = conn_hints[:, 0].tolist()
+    conn_hsy = conn_hints[:, 1].tolist()
+    conn_htx = conn_hints[:, 2].tolist()
+    conn_hty = conn_hints[:, 3].tolist()
+    conn_src_hint = conn_hint_mask[:, 0].tolist()
+    conn_tgt_hint = conn_hint_mask[:, 1].tolist()
+
+    seg_layers = seg_rows[:, 0].astype(np.int64).tolist() if len(seg_rows) else []
+    seg_cols = [seg_rows[:, i].tolist() if len(seg_rows) else []
+                for i in range(1, 5)]
+    via_x = via_rows[:, 0].tolist() if len(via_rows) else []
+    via_y = via_rows[:, 1].tolist() if len(via_rows) else []
+    via_lower = via_rows[:, 2].astype(np.int64).tolist() if len(via_rows) else []
+    via_upper = [lower + 1 for lower in via_lower]
+    dvia_x = dvia_rows[:, 0].tolist() if len(dvia_rows) else []
+    dvia_y = dvia_rows[:, 1].tolist() if len(dvia_rows) else []
+    dvia_lower = dvia_rows[:, 2].astype(np.int64).tolist() if len(dvia_rows) else []
+    dvia_upper = [lower + 1 for lower in dvia_lower]
+
+    # Materialize every Segment/Via up front in one bulk pass per table —
+    # per-connection _new_segments/_new_vias calls dominate decode time on
+    # large layouts (tens of thousands of tiny calls), while slicing a
+    # pre-built object list is nearly free.
+    all_segments = _new_segments(seg_layers, *seg_cols)
+    all_vias = _new_vias(via_x, via_y, via_lower, via_upper)
+    all_dvias = _new_vias(dvia_x, dvia_y, dvia_lower, dvia_upper)
+
+    # RoutedConnection funnels eleven fields through its generated __init__;
+    # populate __dict__ wholesale instead (it is not frozen, so plain
+    # assignment is legal — and one dict display beats eleven setattrs).
+    _conn_new = RoutedConnection.__new__
+
+    routing: Dict[str, RoutedNet] = {}
+    conn_cursor = seg_cursor = via_cursor = dvia_cursor = 0
+    try:
+        for entry_index, net_idx in enumerate(rnet_net):
+            net_name = net_names[net_idx]
+            driver_point: Optional[Point] = None
+            if rnet_has_driver[entry_index]:
+                driver_point = fast_point(
+                    rdrv_x[entry_index], rdrv_y[entry_index]
+                )
+            dvia_stop = dvia_cursor + rnet_dvia_count[entry_index]
+            routed = RoutedNet(
+                name=net_name,
+                driver_point=driver_point,
+                driver_vias=all_dvias[dvia_cursor:dvia_stop],
+            )
+            dvia_cursor = dvia_stop
+            for _ in range(rnet_conn_count[entry_index]):
+                i = conn_cursor
+                gate_idx = conn_sink_gate[i]
+                sink = (
+                    "PO" if gate_idx < 0 else gate_names[gate_idx],
+                    sink_tokens[conn_sink_token[i]],
+                )
+                seg_stop = seg_cursor + conn_seg_count[i]
+                via_stop = via_cursor + conn_via_count[i]
+                connection = _conn_new(RoutedConnection)
+                connection.__dict__ = {
+                    "net": net_names[conn_net[i]],
+                    "sink": sink,
+                    "source": fast_point(conn_sx[i], conn_sy[i]),
+                    "target": fast_point(conn_tx[i], conn_ty[i]),
+                    "h_layer": conn_h_layer[i],
+                    "v_layer": conn_v_layer[i],
+                    "segments": all_segments[seg_cursor:seg_stop],
+                    "vias": all_vias[via_cursor:via_stop],
+                    "source_hint": (fast_point(conn_hsx[i], conn_hsy[i])
+                                    if conn_src_hint[i] else None),
+                    "target_hint": (fast_point(conn_htx[i], conn_hty[i])
+                                    if conn_tgt_hint[i] else None),
+                    "protected": bool(conn_protected[i]),
+                }
+                routed.connections.append(connection)
+                seg_cursor, via_cursor = seg_stop, via_stop
+                conn_cursor += 1
+            routing[net_name] = routed
+    except IndexError:
+        raise CodecError("routing index out of range for the regenerated netlist")
+
+    try:
+        protected_nets = {
+            net_names[index]
+            for index in _require(arrays, prefix + "protected_nets").tolist()
+        }
+    except IndexError:
+        raise CodecError("protected-net index out of range")
+
+    lift_layer = record.get("lift_layer")
+    return Layout(
+        name=str(record.get("name", f"{netlist.name}_layout")),
+        netlist=netlist,
+        placement=placement,
+        routing=routing,
+        protected_nets=protected_nets,
+        lift_layer=int(lift_layer) if lift_layer is not None else None,
+        metadata=_decode_jsonable(record.get("metadata", {})),
+        geometry_version=int(record.get("geometry_version", 0)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# SchemeBuild encoding
+# ---------------------------------------------------------------------------
+
+def encode_build(build: Any, netlist: Netlist
+                 ) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Flatten a :class:`~repro.api.schemes.SchemeBuild` into columns.
+
+    Returns:
+        ``(record, arrays)`` — a JSON-compatible metadata record and the
+        named coordinate/skeleton arrays of the payload.
+
+    Raises:
+        UnstorableBuild: The build carries state the format cannot
+            represent (a full :class:`~repro.core.flow.ProtectionResult`,
+            a baseline distinct from the scheme layout, non-plain
+            metadata).
+    """
+    if getattr(build, "protection", None) is not None:
+        raise UnstorableBuild(
+            f"scheme {build.scheme!r} carries a full ProtectionResult; "
+            "only plain-layout builds are stored"
+        )
+    if build.baseline is None:
+        baseline = "none"
+    elif build.baseline is build.layout:
+        baseline = "same"
+    else:
+        raise UnstorableBuild(
+            f"scheme {build.scheme!r} has a baseline distinct from its layout"
+        )
+    arrays: Dict[str, np.ndarray] = {}
+    record = {
+        "codec_version": CODEC_FORMAT_VERSION,
+        "scheme": build.scheme,
+        "baseline": baseline,
+        "restrict_to_protected": bool(build.restrict_to_protected),
+        "netlist_fingerprint": netlist_fingerprint(netlist),
+        "topology_version": netlist.topology_version,
+        "layout": _encode_layout(build.layout, netlist, arrays, "layout."),
+    }
+    return record, arrays
+
+
+def decode_build(record: Mapping[str, Any], arrays: Mapping[str, np.ndarray],
+                 netlist: Netlist):
+    """Rebuild a :class:`~repro.api.schemes.SchemeBuild` from its columns.
+
+    ``netlist`` must be the deterministic regeneration of the benchmark the
+    entry was built from; the recorded fingerprint and ``topology_version``
+    are verified against it before any object is materialized.
+
+    Raises:
+        CodecError: Malformed or truncated payload.
+        StaleEntry: The regenerated netlist no longer matches the recorded
+            fingerprint / topology version.
+    """
+    from repro.api.schemes import SchemeBuild
+
+    if record.get("codec_version") != CODEC_FORMAT_VERSION:
+        raise CodecError(
+            f"codec version {record.get('codec_version')!r} != "
+            f"{CODEC_FORMAT_VERSION}"
+        )
+    expected = record.get("netlist_fingerprint")
+    actual = netlist_fingerprint(netlist)
+    if expected != actual:
+        raise StaleEntry(
+            f"netlist fingerprint changed ({str(expected)[:12]}… recorded, "
+            f"{actual[:12]}… regenerated) — benchmark generation has moved"
+        )
+    recorded_topology = record.get("topology_version")
+    if recorded_topology != netlist.topology_version:
+        raise StaleEntry(
+            f"topology_version changed ({recorded_topology} recorded, "
+            f"{netlist.topology_version} regenerated)"
+        )
+    layout = _decode_layout(record["layout"], arrays, netlist, "layout.")
+    baseline_mode = record.get("baseline")
+    if baseline_mode == "same":
+        baseline = layout
+    elif baseline_mode == "none":
+        baseline = None
+    else:
+        raise CodecError(f"unknown baseline mode {baseline_mode!r}")
+    return SchemeBuild(
+        scheme=str(record["scheme"]),
+        layout=layout,
+        baseline=baseline,
+        restrict_to_protected=bool(record.get("restrict_to_protected", False)),
+    )

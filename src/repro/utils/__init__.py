@@ -1,6 +1,7 @@
-"""Small shared helpers: seeded RNG management and table rendering."""
+"""Small shared helpers: seeded RNG, table rendering, host provenance."""
 
+from repro.utils.host import host_metadata
 from repro.utils.rng import derive_seed, make_rng
 from repro.utils.tables import Table, format_table
 
-__all__ = ["derive_seed", "make_rng", "Table", "format_table"]
+__all__ = ["derive_seed", "make_rng", "host_metadata", "Table", "format_table"]

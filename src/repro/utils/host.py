@@ -1,0 +1,45 @@
+"""Host provenance for committed perf artefacts (``BENCH_*.json``).
+
+Perf trajectories across PRs are only comparable when each artefact says
+what produced it.  :func:`host_metadata` returns the stable, structured
+subset — interpreter and NumPy versions, CPU count, the git revision of
+the working tree — keyed under ``"host"`` in each bench script's ``meta``
+block.  The timestamp is *passed in* rather than read here so a script
+stamps one consistent time across its whole payload.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+from typing import Any, Dict, Optional
+
+
+def _git_revision() -> Optional[str]:
+    """The working tree's HEAD commit, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    revision = out.stdout.strip()
+    return revision if out.returncode == 0 and revision else None
+
+
+def host_metadata(timestamp: str) -> Dict[str, Any]:
+    """The ``host`` block stamped into every ``BENCH_*.json`` meta section."""
+    import numpy
+
+    return {
+        "timestamp_utc": timestamp,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpu_count": os.cpu_count(),
+        "git_rev": _git_revision(),
+    }
