@@ -56,7 +56,7 @@ from repro.circuits.registry import available_benchmarks, get_benchmark
 from repro.core.flow import ProtectionConfig, ProtectionResult, protect
 from repro.experiments.common import ExperimentConfig
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = [
     "ATTACKS",

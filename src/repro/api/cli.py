@@ -473,6 +473,29 @@ def cmd_hash(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the scenario service in the foreground until interrupted."""
+    try:
+        apply_resilience_flags(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    from repro.service import ScenarioService
+
+    workspace = default_workspace()
+    service = ScenarioService(
+        workspace,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        on_error="skip" if args.keep_going else "raise",
+        max_workers=args.workers,
+    )
+    print(f"scenario service listening on {service.address}", file=sys.stderr)
+    service.serve_forever()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -521,6 +544,35 @@ def build_parser() -> argparse.ArgumentParser:
                                  "published there as they finish (also via "
                                  "the REPRO_STORE environment variable)")
     run_parser.set_defaults(fn=cmd_run)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the HTTP scenario service (POST ScenarioSpec "
+                      "JSON to /v1/jobs; stream progress and results)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8321,
+                              help="bind port (default 8321; 0 = ephemeral)")
+    serve_parser.add_argument("--jobs", "-j", type=int, default=None,
+                              help="worker processes per job's build prewarm")
+    serve_parser.add_argument("--workers", type=int, default=4,
+                              help="concurrent jobs the service runs "
+                                   "(default 4; requests never block)")
+    serve_parser.add_argument("--retries", type=int, default=None,
+                              help="retry a failed build up to N times")
+    serve_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-build timeout in seconds")
+    serve_parser.add_argument("--keep-going", action="store_true",
+                              help="default jobs to on_error='skip': failed "
+                                   "seeds are skipped and reported in a "
+                                   "206 partial body instead of failing "
+                                   "the job")
+    serve_parser.add_argument("--store", default=None,
+                              help="persistent artefact store directory "
+                                   "(also via REPRO_STORE); warm entries are "
+                                   "served without building and exposed "
+                                   "under /v1/store")
+    serve_parser.set_defaults(fn=cmd_serve)
 
     list_parser = sub.add_parser("list", help="show registered names")
     list_parser.add_argument(

@@ -529,10 +529,15 @@ class Workspace:
         self._quarantined: Dict[str, BuildError] = {}
         self._failures: List[FailureRecord] = []
         self._lock = threading.RLock()
+        #: build key → event set when the build currently running in another
+        #: thread settles (in-flight dedup; see :meth:`_claim_builds`).
+        self._inflight: Dict[str, threading.Event] = {}
+        self._listeners: List[Any] = []
         self._stats = {
             "build_hits": 0, "build_misses": 0,
             "scenario_hits": 0, "scenario_misses": 0,
             "store_hits": 0, "store_misses": 0,
+            "builds_run": 0, "inflight_waits": 0,
         }
 
     # -- artefact cache ----------------------------------------------------
@@ -557,6 +562,91 @@ class Workspace:
             self._netlists.clear()
             self._quarantined.clear()
             self._failures.clear()
+
+    # -- progress signaling ------------------------------------------------
+
+    def add_progress_listener(self, listener) -> None:
+        """Subscribe ``listener(event_dict)`` to execution progress events.
+
+        Events are plain dicts with an ``"event"`` name plus context fields
+        (``key``, ``label``, ``attempts``, ``spec_hash``, ``seed`` — whatever
+        the edge knows).  Emitted edges: ``build_dispatched``,
+        ``build_completed``, ``build_retry``, ``build_quarantined``,
+        ``store_hit`` and ``scenario_completed``.  Listeners run on the
+        emitting thread and must be fast and exception-safe; a listener that
+        raises is logged and dropped from that emission, never allowed to
+        sink the work it observes.  This is the hook the scenario service
+        streams job progress from.
+        """
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+
+    def remove_progress_listener(self, listener) -> None:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        if not listeners:
+            return
+        payload = {"event": event, **fields}
+        for listener in listeners:
+            try:
+                listener(payload)
+            except Exception:  # noqa: BLE001 - observers never sink the work
+                _log.warning("progress listener failed for %s", event,
+                             exc_info=True)
+
+    # -- in-flight build dedup ---------------------------------------------
+
+    def _claim_builds(self, keys: Iterable[str]
+                      ) -> Tuple[List[str], Dict[str, threading.Event]]:
+        """Partition ``keys`` into builds this thread owns vs ones in flight.
+
+        The first thread to ask for a missing build key *claims* it (an
+        event is parked in ``_inflight``); any other thread asking for the
+        same key while the build runs gets the claimant's event back instead
+        of a claim, waits on it, and finds the build in the cache — so two
+        clients requesting the same scenario concurrently trigger exactly
+        one build.  Claimants must release via :meth:`_release_builds` on
+        every exit path (success *and* failure), else waiters would hang.
+        """
+        owned: List[str] = []
+        foreign: Dict[str, threading.Event] = {}
+        with self._lock:
+            for key in keys:
+                if key in self._builds:
+                    continue
+                event = self._inflight.get(key)
+                if event is None:
+                    self._inflight[key] = threading.Event()
+                    owned.append(key)
+                else:
+                    foreign[key] = event
+        return owned, foreign
+
+    def _release_builds(self, keys: Iterable[str]) -> None:
+        with self._lock:
+            for key in keys:
+                event = self._inflight.pop(key, None)
+                if event is not None:
+                    event.set()
+
+    def _await_builds(self, foreign: Mapping[str, threading.Event]) -> None:
+        """Block until every foreign in-flight build settles (built or not)."""
+        if not foreign:
+            return
+        with self._lock:
+            self._stats["inflight_waits"] += len(foreign)
+        for event in foreign.values():
+            event.wait()
+
+    def _count_build_run(self, count: int = 1) -> None:
+        with self._lock:
+            self._stats["builds_run"] += count
 
     # -- disk tier ---------------------------------------------------------
 
@@ -662,52 +752,81 @@ class Workspace:
         :class:`~repro.exec.errors.BuildError` — clear it with
         :meth:`clear_quarantine` to allow another try.  With a *read-only*
         store a full miss raises instead of building.
+
+        Misses are deduplicated across threads: while one thread builds a
+        key, every other thread asking for the same key blocks on the
+        in-flight build and then reads it from the cache — N concurrent
+        requests for the same scenario run exactly one build
+        (``stats()["builds_run"]`` counts the real ones,
+        ``stats()["inflight_waits"]`` the deduplicated waiters).
         """
         ensure_builtins()
         key = spec.build_key()
-        with self._lock:
-            if key in self._builds:
-                self._stats["build_hits"] += 1
-                return self._builds[key]
-            self._stats["build_misses"] += 1
-            quarantined = self._quarantined.get(key)
-        if quarantined is not None:
-            raise quarantined
-        stored = self._store_load(key, spec)
-        if stored is not None:
+        while True:
+            claimed = False
             with self._lock:
-                return self._builds.setdefault(key, stored)
-        if self.store is not None and self.store.readonly:
-            error = self._readonly_error(spec, key)
+                if key in self._builds:
+                    self._stats["build_hits"] += 1
+                    return self._builds[key]
+                quarantined = self._quarantined.get(key)
+                event = self._inflight.get(key)
+                if quarantined is None and event is None:
+                    self._inflight[key] = threading.Event()
+                    self._stats["build_misses"] += 1
+                    claimed = True
+            if quarantined is not None:
+                raise quarantined
+            if claimed:
+                break
+            # Another thread is building this key right now: wait for it to
+            # settle, then re-check the cache (or its quarantine record).
             with self._lock:
-                self._quarantined[key] = error
-            raise error
-        entry = DEFENSES.get(spec.scheme)
-        params = entry.make_params(spec.scheme_params)
-        label = build_label(spec)
-
-        def attempt_build(attempt: int):
-            if self.chaos is not None:
-                self.chaos.inject(label, attempt)
-            netlist = self.netlist(
-                spec.benchmark, seed=spec.effective_netlist_seed, scale=spec.scale
-            )
-            return entry.fn(netlist, params, spec.seed)
-
+                self._stats["inflight_waits"] += 1
+            event.wait()
         try:
-            built = execute_with_retries(
-                attempt_build, key=key, label=label, policy=self.retry
-            )
-        except BuildError as error:
+            stored = self._store_load(key, spec)
+            if stored is not None:
+                with self._lock:
+                    return self._builds.setdefault(key, stored)
+            if self.store is not None and self.store.readonly:
+                error = self._readonly_error(spec, key)
+                with self._lock:
+                    self._quarantined[key] = error
+                raise error
+            entry = DEFENSES.get(spec.scheme)
+            params = entry.make_params(spec.scheme_params)
+            label = build_label(spec)
+
+            def attempt_build(attempt: int):
+                if self.chaos is not None:
+                    self.chaos.inject(label, attempt)
+                netlist = self.netlist(
+                    spec.benchmark, seed=spec.effective_netlist_seed,
+                    scale=spec.scale,
+                )
+                return entry.fn(netlist, params, spec.seed)
+
+            self._emit("build_dispatched", key=key, label=label)
+            try:
+                built = execute_with_retries(
+                    attempt_build, key=key, label=label, policy=self.retry
+                )
+            except BuildError as error:
+                with self._lock:
+                    self._quarantined[key] = error
+                self._emit("build_quarantined", key=key, label=label,
+                           attempts=error.attempts)
+                raise
             with self._lock:
-                self._quarantined[key] = error
-            raise
-        with self._lock:
-            built = self._builds.setdefault(key, built)
-            self._quarantined.pop(key, None)
-        self._store_save(key, spec.build_dict(), built)
-        self._publish_baseline(spec, built)
-        return built
+                built = self._builds.setdefault(key, built)
+                self._quarantined.pop(key, None)
+            self._count_build_run()
+            self._emit("build_completed", key=key, label=label)
+            self._store_save(key, spec.build_dict(), built)
+            self._publish_baseline(spec, built)
+            return built
+        finally:
+            self._release_builds([key])
 
     def _publish_baseline(self, spec: ScenarioSpec, built) -> None:
         """Register a proposed build's original layout under the matching
@@ -864,51 +983,58 @@ class Workspace:
         distinct: Dict[str, ScenarioSpec] = {}
         for spec in specs:
             distinct.setdefault(spec.build_key(), spec)
-        with self._lock:
-            missing = {
-                key: spec for key, spec in distinct.items()
-                if key not in self._builds
-            }
-        missing = self._resolve_from_store(missing)
-        groups = self._batch_groups(missing)
-        if not groups:
-            return
-        if self.chaos is not None:
-            warn_once(
-                _log, "workspace.prewarm_batches.chaos",
-                "a fault plan is installed; serial sweep builds degrade to "
-                "the per-seed path (chaos injects per build attempt, which "
-                "seed batching would bypass)",
-            )
-            return
-        from repro.api.schemes import build_original_batch
-
-        for members in groups:
-            first = members[0][1]
-            netlist = self.netlist(
-                first.benchmark, seed=first.effective_netlist_seed,
-                scale=first.scale,
-            )
-            entry = DEFENSES.get(first.scheme)
-            params = entry.make_params(first.scheme_params)
-            seeds = [spec.seed for _key, spec in members]
-            try:
-                builds = build_original_batch(netlist, params, seeds)
-            except Exception as error:  # noqa: BLE001 - per-seed path reports it
-                _log.warning(
-                    "seed-batched build of %s (seeds %s) failed (%s: %s); "
-                    "seeds fall back to individual builds",
-                    build_label(first), seeds, type(error).__name__, error,
+        # Claim the keys this thread will batch-build; keys another thread
+        # is already building are left to it (the per-seed loop that follows
+        # a serial prewarm blocks on them inside build()).
+        owned, _foreign = self._claim_builds(distinct)
+        missing = {key: distinct[key] for key in owned}
+        try:
+            missing = self._resolve_from_store(missing)
+            groups = self._batch_groups(missing)
+            if not groups:
+                return
+            if self.chaos is not None:
+                warn_once(
+                    _log, "workspace.prewarm_batches.chaos",
+                    "a fault plan is installed; serial sweep builds degrade to "
+                    "the per-seed path (chaos injects per build attempt, which "
+                    "seed batching would bypass)",
                 )
-                continue
-            published: List[Tuple[str, ScenarioSpec, Any]] = []
-            with self._lock:
-                for (key, spec), built in zip(members, builds):
-                    built = self._builds.setdefault(key, built)
-                    self._quarantined.pop(key, None)
-                    published.append((key, spec, built))
-            for key, spec, built in published:
-                self._store_save(key, spec.build_dict(), built)
+                return
+            from repro.api.schemes import build_original_batch
+
+            for members in groups:
+                first = members[0][1]
+                netlist = self.netlist(
+                    first.benchmark, seed=first.effective_netlist_seed,
+                    scale=first.scale,
+                )
+                entry = DEFENSES.get(first.scheme)
+                params = entry.make_params(first.scheme_params)
+                seeds = [spec.seed for _key, spec in members]
+                try:
+                    builds = build_original_batch(netlist, params, seeds)
+                except Exception as error:  # noqa: BLE001 - per-seed path reports it
+                    _log.warning(
+                        "seed-batched build of %s (seeds %s) failed (%s: %s); "
+                        "seeds fall back to individual builds",
+                        build_label(first), seeds, type(error).__name__, error,
+                    )
+                    continue
+                published: List[Tuple[str, ScenarioSpec, Any]] = []
+                with self._lock:
+                    for (key, spec), built in zip(members, builds):
+                        built = self._builds.setdefault(key, built)
+                        self._quarantined.pop(key, None)
+                        published.append((key, spec, built))
+                self._count_build_run(len(published))
+                for key, spec, built in published:
+                    self._release_builds([key])
+                    self._emit("build_completed", key=key,
+                               label=build_label(spec))
+                    self._store_save(key, spec.build_dict(), built)
+        finally:
+            self._release_builds(owned)
 
     def _resolve_from_store(self, missing: Dict[str, ScenarioSpec]
                             ) -> Dict[str, ScenarioSpec]:
@@ -922,6 +1048,8 @@ class Workspace:
                 with self._lock:
                     self._builds.setdefault(key, built)
                     self._quarantined.pop(key, None)
+                self._release_builds([key])
+                self._emit("store_hit", key=key, label=build_label(spec))
             else:
                 still[key] = spec
         return still
@@ -950,8 +1078,15 @@ class Workspace:
         settles, with ``"skip"`` the method returns normally and callers
         read the damage from :meth:`drain_failures`.
 
-        Returns the specs whose builds ran *successfully* (first spec per
-        distinct build key, in input order).
+        Concurrent prewarms deduplicate in flight: keys another thread is
+        already building are *not* rebuilt — this call waits for them to
+        settle instead (and, under ``on_error="raise"``, re-raises their
+        quarantine error), so two clients sweeping the same spec trigger
+        exactly one build per seed.
+
+        Returns the specs whose builds ran *successfully in this call*
+        (first spec per distinct build key, in input order; keys another
+        thread built concurrently are not included).
         """
         ensure_builtins()
         distinct: Dict[str, ScenarioSpec] = {}
@@ -959,11 +1094,33 @@ class Workspace:
             # Seed-sweep specs prewarm one build per seed.
             for expanded in spec.expand_seeds():
                 distinct.setdefault(expanded.build_key(), expanded)
-        with self._lock:
-            missing = {
-                key: spec for key, spec in distinct.items() if key not in self._builds
-            }
         on_error = _coerce_on_error(on_error if on_error is not None else self.on_error)
+        owned, foreign = self._claim_builds(distinct)
+        missing = {key: distinct[key] for key in owned}
+        try:
+            built = self._prewarm_missing(
+                missing, jobs=jobs, policy=policy, on_error=on_error
+            )
+        finally:
+            self._release_builds(owned)
+        # Fan in on builds owned by concurrent prewarms: wait for them to
+        # settle, then surface any of their terminal failures.
+        self._await_builds(foreign)
+        if foreign and on_error == "raise":
+            with self._lock:
+                errors = [
+                    self._quarantined[key] for key in foreign
+                    if key in self._quarantined and key not in self._builds
+                ]
+            if errors:
+                raise errors[0]
+        return built
+
+    def _prewarm_missing(self, missing: Dict[str, ScenarioSpec],
+                         jobs: Optional[int],
+                         policy: Optional[RetryPolicy],
+                         on_error: str) -> List[ScenarioSpec]:
+        """Build the claimed ``missing`` keys (the body of :meth:`prewarm`)."""
         # Disk tier first: anything a previous run (or another machine)
         # already built short-circuits the pool entirely.
         missing = self._resolve_from_store(missing)
@@ -1030,21 +1187,29 @@ class Workspace:
         )
 
         published: set = set()
+        served_from_store: set = set()
 
         def publish(key: str, built: Any) -> None:
             if key in chunk_meta:
                 try:
-                    published.update(self._publish_chunk(chunk_meta[key], built))
+                    chunk_keys = self._publish_chunk(chunk_meta[key], built)
                 except Exception:  # noqa: BLE001 - rebuilt below, seed by seed
                     _log.warning(
                         "reconstructing seed-batch chunk %s failed; its seeds "
                         "fall back to individual builds", key, exc_info=True,
                     )
+                    return
+                published.update(chunk_keys)
+                self._count_build_run(len(chunk_keys))
+                # Unblock per-key waiters (in-flight dedup) as soon as each
+                # chunk member lands — publish-as-you-go extends to them.
+                self._release_builds(chunk_keys)
                 return
             with self._lock:
                 built = self._builds.setdefault(key, built)
                 self._quarantined.pop(key, None)
             published.add(key)
+            self._release_builds([key])
             self._publish_baseline(missing[key], built)
 
         def probe_store(task: TaskSpec):
@@ -1056,11 +1221,28 @@ class Workspace:
             spec = missing.get(task.key)
             if spec is None or self.store is None:
                 return None
-            return self._store_load(task.key, spec, count_miss=False)
+            value = self._store_load(task.key, spec, count_miss=False)
+            if value is not None:
+                served_from_store.add(task.key)
+            return value
+
+        def task_event(kind: str, task: TaskSpec, attempts: int) -> None:
+            """Forward supervisor lifecycle edges to progress listeners."""
+            names = {
+                "dispatched": "build_dispatched",
+                "completed": "build_completed",
+                "short_circuit": "store_hit",
+                "retry": "build_retry",
+                "quarantined": "build_quarantined",
+            }
+            self._emit(names[kind], key=task.key, label=task.label,
+                       attempts=attempts)
+            if kind == "completed" and task.key in missing:
+                self._count_build_run()
 
         supervisor = PoolSupervisor(
             _supervised_task, jobs=jobs, policy=policy, on_result=publish,
-            short_circuit=probe_store,
+            short_circuit=probe_store, on_task_event=task_event,
         )
         report = supervisor.run(tasks)
 
@@ -1110,7 +1292,7 @@ class Workspace:
             retry_supervisor = PoolSupervisor(
                 _supervised_task, jobs=retry_jobs,
                 policy=policy, on_result=publish, isolate=crash_suspected,
-                short_circuit=probe_store,
+                short_circuit=probe_store, on_task_event=task_event,
             )
             retry_report = retry_supervisor.run(retries)
             outcomes.update(retry_report.outcomes)
@@ -1156,6 +1338,10 @@ class Workspace:
         start = time.time()
         result = self._execute(spec, spec_hash)
         result.elapsed_s = time.time() - start
+        self._emit(
+            "scenario_completed", spec_hash=spec_hash, seed=spec.seed,
+            benchmark=spec.benchmark, scheme=spec.scheme,
+        )
         with self._lock:
             return self._scenarios.setdefault(spec_hash, result)
 

@@ -125,6 +125,16 @@ class PoolSupervisor:
             process published it to a shared artefact store) is skipped
             instead of rebuilt.  A probe that raises is logged and
             ignored — the task then simply runs.
+        on_task_event: Optional completion-signaling hook, called as
+            ``on_task_event(kind, task, attempts)`` in the supervisor
+            process at every task lifecycle edge: ``"dispatched"`` (an
+            attempt is about to run), ``"completed"`` (result delivered),
+            ``"short_circuit"`` (served by the probe, no attempt charged),
+            ``"retry"`` (attempt failed, another is queued) and
+            ``"quarantined"`` (budget exhausted).  Long-running callers
+            (the scenario service) use this to stream build progress while
+            a batch is in flight; a hook that raises is logged and ignored
+            — signaling must never sink the work it reports on.
     """
 
     def __init__(self, fn: Callable[..., Any], *, jobs: int,
@@ -132,7 +142,9 @@ class PoolSupervisor:
                  on_result: Optional[Callable[[str, Any], None]] = None,
                  max_respawns: int = 3, poll_s: float = 0.05,
                  isolate: bool = False,
-                 short_circuit: Optional[Callable[[TaskSpec], Any]] = None):
+                 short_circuit: Optional[Callable[[TaskSpec], Any]] = None,
+                 on_task_event: Optional[
+                     Callable[[str, TaskSpec, int], None]] = None):
         self.fn = fn
         self.jobs = max(1, jobs)
         self.isolate = isolate
@@ -141,6 +153,7 @@ class PoolSupervisor:
         self.max_respawns = max_respawns
         self.poll_s = poll_s
         self.short_circuit = short_circuit
+        self.on_task_event = on_task_event
 
     # -- public ------------------------------------------------------------
 
@@ -197,6 +210,18 @@ class PoolSupervisor:
 
     # -- outcome bookkeeping -----------------------------------------------
 
+    def _signal(self, kind: str, state: _TaskState) -> None:
+        """Deliver one lifecycle edge to the ``on_task_event`` hook."""
+        if self.on_task_event is None:
+            return
+        try:
+            self.on_task_event(kind, state.task, state.attempts)
+        except Exception:  # noqa: BLE001 - signaling must never sink the work
+            log.warning(
+                "on_task_event hook failed for %s (%s)",
+                state.task.display(), kind, exc_info=True,
+            )
+
     def _probe_short_circuit(self, state: _TaskState,
                              report: SupervisorReport) -> bool:
         """True when the task was completed by the short-circuit probe."""
@@ -212,15 +237,16 @@ class PoolSupervisor:
             return False
         if value is None:
             return False
-        self._succeed(state, value, report)
+        self._succeed(state, value, report, kind="short_circuit")
         return True
 
     def _succeed(self, state: _TaskState, value: Any,
-                 report: SupervisorReport) -> None:
+                 report: SupervisorReport, kind: str = "completed") -> None:
         key = state.task.key
         report.outcomes[key] = TaskOutcome(
             key=key, label=state.task.label, value=value, attempts=state.attempts
         )
+        self._signal(kind, state)
         if self.on_result is not None:
             self.on_result(key, value)
 
@@ -234,12 +260,14 @@ class PoolSupervisor:
                 time.monotonic() + self.policy.delay_s(key, state.attempts)
             )
             queue.append(key)
+            self._signal("retry", state)
             log.info("retrying %s (attempt %d/%d): %s", state.task.display(),
                      state.attempts, self.policy.max_attempts, error)
             return
         report.outcomes[key] = TaskOutcome(
             key=key, label=state.task.label, error=error, attempts=state.attempts
         )
+        self._signal("quarantined", state)
         log.warning("quarantined %s after %d attempt(s): %s",
                     state.task.display(), state.attempts, error)
 
@@ -278,6 +306,7 @@ class PoolSupervisor:
                 if self._probe_short_circuit(state, report):
                     continue
                 state.attempts += 1
+                self._signal("dispatched", state)
                 try:
                     future = executor.submit(
                         self.fn, key, state.task.payload, state.attempts
@@ -430,6 +459,7 @@ class PoolSupervisor:
                 if delay > 0:
                     time.sleep(delay)
                 state.attempts += 1
+                self._signal("dispatched", state)
                 try:
                     value = self.fn(key, state.task.payload, state.attempts)
                 except Exception as exc:  # noqa: BLE001

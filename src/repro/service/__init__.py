@@ -1,0 +1,47 @@
+"""HTTP scenario service: async job API over the :class:`~repro.api.Workspace`.
+
+The service turns the paper's tables into requests: clients POST a
+``ScenarioSpec`` JSON to ``/v1/jobs``, the job manager runs it through the
+shared ``Workspace`` (pool-backed builds, artefact-store short circuit,
+in-flight dedup), and progress/results stream back as ndjson or SSE.
+Identical concurrent requests content-address to one job by the canonical
+spec hash; the PR-5 failure taxonomy maps onto HTTP status codes with
+machine-readable failure bodies mirroring the CLI's ``--keep-going``
+exit-3 semantics.
+
+Stdlib-only by design (``http.server``): the container ships no ASGI
+framework and the service must not add dependencies.
+"""
+
+from repro.service.schemas import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    InvalidTransition,
+    JobRecord,
+    JobStateMachine,
+    JOB_RECORD_SCHEMA,
+    validate_job_dict,
+    failure_body,
+    partial_body,
+    store_manifest_wire,
+)
+from repro.service.jobs import Job, JobManager
+from repro.service.app import ScenarioService
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "InvalidTransition",
+    "JobRecord",
+    "JobStateMachine",
+    "JOB_RECORD_SCHEMA",
+    "validate_job_dict",
+    "failure_body",
+    "partial_body",
+    "store_manifest_wire",
+    "Job",
+    "JobManager",
+    "ScenarioService",
+]

@@ -1,0 +1,306 @@
+"""Job-state machine, job records, and wire-body shapes for the service.
+
+Everything here is plain data + pure functions so the shapes can be pinned
+by golden snapshots and fuzzed by Hypothesis without standing up a server.
+
+State machine::
+
+    queued -> building -> streaming -> done | failed | partial
+           \\___________________________/
+            (short-circuit paths: a fully-warm job can jump from queued
+             straight to a terminal without emitting a single build event;
+             any live state -> failed on an ExecError)
+
+``done``/``failed``/``partial`` are terminal: no event may transition out
+of them (attempting to raises :class:`InvalidTransition`).  ``partial``
+is the HTTP twin of the CLI's ``--keep-going`` exit-3: some seeds were
+lost, the survivors aggregated honestly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "EVENT_KINDS",
+    "InvalidTransition",
+    "JobStateMachine",
+    "JobRecord",
+    "JOB_RECORD_SCHEMA",
+    "validate_job_dict",
+    "job_id_for",
+    "failure_body",
+    "partial_body",
+    "store_manifest_wire",
+]
+
+JOB_STATES: Tuple[str, ...] = (
+    "queued", "building", "streaming", "done", "failed", "partial",
+)
+
+TERMINAL_STATES = frozenset({"done", "failed", "partial"})
+
+# state -> states reachable from it.  Kept explicit (not derived) so the
+# golden/README description and the enforcement logic cannot drift apart.
+TRANSITIONS: Dict[str, frozenset] = {
+    # queued can reach every terminal directly: a job whose artefacts are
+    # all warm (memory or store) finishes without emitting a single
+    # build/progress event.
+    "queued": frozenset({"building", "streaming", "done", "failed", "partial"}),
+    "building": frozenset({"streaming", "done", "failed", "partial"}),
+    "streaming": frozenset({"done", "failed", "partial"}),
+    "done": frozenset(),
+    "failed": frozenset(),
+    "partial": frozenset(),
+}
+
+# Event kind -> the state it drives toward (None = no state change, only
+# bookkeeping).  "finished" resolves to done|partial depending on whether
+# any seed failed along the way.
+EVENT_KINDS: Tuple[str, ...] = (
+    "build_dispatched",
+    "build_started",
+    "build_retry",
+    "build_completed",
+    "build_quarantined",
+    "store_hit",
+    "scenario_completed",
+    "seed_failed",
+    "progress",
+    "finished",
+    "error",
+)
+
+_EVENT_TARGET: Dict[str, Optional[str]] = {
+    "build_dispatched": "building",
+    "build_started": "building",
+    "build_retry": "building",
+    "build_completed": "streaming",
+    "build_quarantined": None,       # bookkeeping; terminal comes from error/finished
+    "store_hit": "streaming",
+    "scenario_completed": "streaming",
+    "seed_failed": "streaming",
+    "progress": "streaming",
+    "finished": None,                # resolved to done|partial by apply()
+    "error": "failed",
+}
+
+
+class InvalidTransition(RuntimeError):
+    """An event arrived that would leave a terminal state."""
+
+
+class JobStateMachine:
+    """Tiny explicit state machine a job's event stream drives.
+
+    ``apply(kind)`` maps an event kind onto the transition table.  Events
+    that would move *backwards* (a late ``build_completed`` after the job
+    already reached ``streaming``) are no-ops — workspace progress events
+    from parallel builds arrive unordered.  Events after a terminal state
+    raise :class:`InvalidTransition`; unknown kinds raise ``ValueError``.
+    """
+
+    def __init__(self, state: str = "queued") -> None:
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state: {state!r}")
+        self.state = state
+        self.failures = 0
+
+    def apply(self, kind: str) -> str:
+        if kind not in _EVENT_TARGET:
+            raise ValueError(f"unknown job event kind: {kind!r}")
+        if self.state in TERMINAL_STATES:
+            raise InvalidTransition(
+                f"event {kind!r} after terminal state {self.state!r}")
+        if kind == "seed_failed" or kind == "build_quarantined":
+            self.failures += 1
+        if kind == "finished":
+            target: Optional[str] = "partial" if self.failures else "done"
+        else:
+            target = _EVENT_TARGET[kind]
+        if target is None or target == self.state:
+            return self.state
+        if target in TRANSITIONS[self.state]:
+            self.state = target
+        # else: backwards/no-op event (e.g. build_dispatched while already
+        # streaming) — deliberately ignored, see docstring.
+        return self.state
+
+
+def job_id_for(spec_hash: str, on_error: str) -> str:
+    """Content-addressed job id: identical requests collapse to one job."""
+    digest = hashlib.sha256(
+        f"repro.job:{spec_hash}:{on_error}".encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+@dataclasses.dataclass
+class JobRecord:
+    """Plain-data snapshot of a job, JSON round-trippable.
+
+    ``failures`` holds :class:`~repro.exec.errors.FailureRecord` dicts with
+    ``traceback_text`` dropped (wire records stay small and deterministic);
+    ``error`` is the machine-readable taxonomy body for ``failed`` jobs.
+    """
+
+    id: str
+    spec: Dict[str, Any]
+    spec_hash: str
+    state: str = "queued"
+    kind: str = "sweep"
+    jobs: int = 1
+    on_error: str = "raise"
+    created_utc: str = ""
+    started_utc: Optional[str] = None
+    finished_utc: Optional[str] = None
+    events: int = 0
+    progress: Dict[str, int] = dataclasses.field(default_factory=dict)
+    failures: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    error: Optional[Dict[str, Any]] = None
+    elapsed_s: Optional[float] = None
+    requests: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRecord":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+# JSON-schema-shaped description of the wire form of a JobRecord.  We have
+# no jsonschema dependency; validate_job_dict() below enforces it.
+JOB_RECORD_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "id", "spec", "spec_hash", "state", "kind", "jobs", "on_error",
+        "created_utc", "events", "progress", "failures", "requests",
+    ],
+    "properties": {
+        "id": {"type": "string"},
+        "spec": {"type": "object"},
+        "spec_hash": {"type": "string"},
+        "state": {"type": "string", "enum": list(JOB_STATES)},
+        "kind": {"type": "string", "enum": ["sweep", "scenario"]},
+        "jobs": {"type": "integer"},
+        "on_error": {"type": "string", "enum": ["raise", "skip"]},
+        "created_utc": {"type": "string"},
+        "started_utc": {"type": ["string", "null"]},
+        "finished_utc": {"type": ["string", "null"]},
+        "events": {"type": "integer"},
+        "progress": {"type": "object"},
+        "failures": {"type": "array", "items": {"type": "object"}},
+        "error": {"type": ["object", "null"]},
+        "elapsed_s": {"type": ["number", "null"]},
+        "requests": {"type": "integer"},
+    },
+}
+
+_TYPE_CHECKS = {
+    "string": lambda v: isinstance(v, str),
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate_job_dict(data: Dict[str, Any]) -> List[str]:
+    """Validate ``data`` against :data:`JOB_RECORD_SCHEMA`.
+
+    Returns a list of human-readable problems (empty = valid).  Minimal
+    by design — enough to catch shape drift in tests and reject malformed
+    round-trips, not a general validator.
+    """
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        return [f"job record must be an object, got {type(data).__name__}"]
+    for name in JOB_RECORD_SCHEMA["required"]:
+        if name not in data:
+            problems.append(f"missing required field: {name}")
+    for name, rule in JOB_RECORD_SCHEMA["properties"].items():
+        if name not in data:
+            continue
+        value = data[name]
+        types = rule["type"]
+        if isinstance(types, str):
+            types = [types]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            problems.append(
+                f"field {name}: expected {'|'.join(types)}, "
+                f"got {type(value).__name__}")
+            continue
+        enum = rule.get("enum")
+        if enum is not None and value not in enum:
+            problems.append(f"field {name}: {value!r} not in {enum}")
+    return problems
+
+
+# -- wire bodies -----------------------------------------------------------
+#
+# These mirror the CLI's machine-readable stderr JSON exactly (PR 5): a
+# partial job is the HTTP twin of `repro run --keep-going` exiting 3, a
+# failed job of the exit-1 {"status": "failed"} summary.  Centralised here
+# so the golden snapshots pin one shape used by both server and tests.
+
+
+def _wire_failures(failures: List[Any]) -> List[Dict[str, Any]]:
+    out: List[Dict[str, Any]] = []
+    for failure in failures:
+        record = failure.to_dict() if hasattr(failure, "to_dict") else dict(failure)
+        record.pop("traceback_text", None)
+        out.append(record)
+    return out
+
+
+def partial_body(job: "JobRecord", result: Optional[Dict[str, Any]] = None,
+                 ) -> Dict[str, Any]:
+    """HTTP 206 body for a job that lost seeds under ``on_error="skip"``."""
+    return {
+        "status": "partial",
+        "skipped": len(job.failures),
+        "failures": _wire_failures(job.failures),
+        "job": job.to_dict(),
+        "result": result,
+    }
+
+
+def failure_body(job: "JobRecord") -> Dict[str, Any]:
+    """HTTP 500 body for a job killed by an unrecoverable ExecError."""
+    error = dict(job.error or {})
+    return {
+        "status": "failed",
+        "error_type": error.get("error_type", "ExecError"),
+        "message": error.get("message", ""),
+        "failures": _wire_failures(job.failures),
+        "job": job.to_dict(),
+    }
+
+
+def store_manifest_wire(key: str, manifest: Dict[str, Any]) -> Dict[str, Any]:
+    """Wire form of a store entry manifest served at /v1/store/{key}/manifest.
+
+    The on-disk manifest is self-describing (PR 8); the wire form adds the
+    addressing key and the payload URL so a client can fetch and verify the
+    bytes against ``payload_sha256`` without knowing the store layout.
+    """
+    return {
+        "key": key,
+        "manifest": manifest,
+        "payload_url": f"/v1/store/{key}/payload",
+        "payload_sha256": manifest.get("payload_sha256"),
+        "payload_bytes": manifest.get("payload_bytes"),
+    }
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON used for every service response body."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))

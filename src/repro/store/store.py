@@ -319,6 +319,27 @@ class ArtifactStore:
         entry = self._entry_dir(key)
         return (entry / _MANIFEST).exists() and (entry / _PAYLOAD).exists()
 
+    def manifest(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the raw manifest dict for ``key`` (``None`` on any miss).
+
+        Unlike :meth:`load` this does not decode or checksum the payload —
+        it is the cheap metadata read the service layer serves over the
+        wire; clients verify the payload themselves against
+        ``payload_sha256``.
+        """
+        if not self.has(key):
+            return None
+        try:
+            return json.loads((self._entry_dir(key) / _MANIFEST).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def payload_path(self, key: str) -> Optional[Path]:
+        """Path of the stored ``payload.npz`` for ``key``, or ``None``."""
+        if not self.has(key):
+            return None
+        return self._entry_dir(key) / _PAYLOAD
+
     def load(self, key: str, netlist=None) -> Optional[Any]:
         """Decode the stored build for ``key``; ``None`` on any miss.
 

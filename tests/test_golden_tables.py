@@ -96,6 +96,92 @@ def test_golden_table(name):
         )
 
 
+# -- scenario-service wire shapes ------------------------------------------
+#
+# The service's JSON bodies (job record, partial-failure body, store-manifest
+# wire form) are contracts clients script against; these snapshots pin them
+# bit-identically.  Everything below is built from fixed inputs — no builds,
+# no clocks — so the comparison tests are fast enough for tier-1.
+
+
+def service_snapshots() -> Dict[str, Dict[str, Any]]:
+    """Deterministic instances of every service wire shape."""
+    from repro.api.spec import ScenarioSpec
+    from repro.exec.errors import FailureRecord
+    from repro.service.schemas import (
+        JobRecord, job_id_for, partial_body, store_manifest_wire,
+    )
+
+    spec = ScenarioSpec(
+        benchmark="c17", scheme="original", metrics=("distances",),
+        seeds=(0, 1, 2),
+    )
+    lost = spec.expand_seeds()[2]
+    failure = FailureRecord(
+        kind="build", benchmark="c17", scheme="original", seed=2,
+        spec_hash=lost.content_hash(), build_key=lost.build_key(),
+        attempts=2, error_type="ChaosFailure",
+        message="chaos: injected failure for c17:original:seed2",
+    )
+    failure_dict = {
+        k: v for k, v in failure.to_dict().items() if k != "traceback_text"
+    }
+    record = JobRecord(
+        id=job_id_for(spec.content_hash(), "skip"),
+        spec=spec.to_dict(),
+        spec_hash=spec.content_hash(),
+        state="partial", kind="sweep", jobs=2, on_error="skip",
+        created_utc="2026-01-01T00:00:00Z",
+        started_utc="2026-01-01T00:00:00Z",
+        finished_utc="2026-01-01T00:00:02Z",
+        events=9,
+        progress={
+            "build_dispatched": 3, "build_completed": 2,
+            "build_quarantined": 1, "scenario_completed": 2,
+            "seed_failed": 1,
+        },
+        failures=[failure_dict],
+        error=None, elapsed_s=2.0, requests=3,
+    )
+    manifest = {
+        "store_format_version": 1,
+        "codec_format_version": 1,
+        "build_key": failure.build_key,
+        "build": lost.build_dict(),
+        "record": {"benchmark": "c17", "scheme": "original", "seed": 2},
+        "payload_sha256": "00" * 32,
+        "payload_bytes": 14281,
+        "created_utc": "2026-01-01T00:00:00Z",
+    }
+    return {
+        "service_job_record": {"record": record.to_dict()},
+        "service_partial_failure": partial_body(record, result=None),
+        "service_store_manifest": store_manifest_wire(
+            failure.build_key, manifest),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(
+    ["service_job_record", "service_partial_failure", "service_store_manifest"]
+))
+def test_golden_service_shape(name):
+    """Service wire shapes reproduce their committed snapshots exactly.
+
+    Fast (no builds), so tier-1 catches wire-format drift immediately.
+    """
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"missing golden snapshot {path}; regenerate with "
+        "`python tests/test_golden_tables.py --regen`"
+    )
+    golden = json.loads(path.read_text())
+    fresh = service_snapshots()[name]
+    assert fresh == golden, (
+        f"{name} wire shape drifted; if intentional, regenerate with "
+        "`python tests/test_golden_tables.py --regen`"
+    )
+
+
 def regenerate() -> None:  # pragma: no cover - manual entry point
     GOLDEN_DIR.mkdir(exist_ok=True)
     for name, run in _experiments().items():
@@ -105,6 +191,10 @@ def regenerate() -> None:  # pragma: no cover - manual entry point
             "config": GOLDEN_CONFIG.to_dict(),
             "table": table_payload(table),
         }
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    for name, payload in service_snapshots().items():
         path = GOLDEN_DIR / f"{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path}")

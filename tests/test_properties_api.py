@@ -12,6 +12,8 @@ Two property families back the ISSUE's regression harness:
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 hypothesis = pytest.importorskip("hypothesis")
@@ -23,6 +25,7 @@ from repro.api.spec import ScenarioSpec  # noqa: E402
 from repro.circuits import iscas85_netlist  # noqa: E402
 from repro.layout.arrays import placement_arrays  # noqa: E402
 from repro.layout.placer import PlacerConfig, check_legality, place  # noqa: E402
+from repro.service.schemas import EVENT_KINDS  # noqa: E402
 
 ensure_builtins()
 
@@ -205,3 +208,104 @@ class TestBuildInvariants:
         after = placement_arrays(c432, placement)
         assert after is not before  # bump invalidated the cached view
         assert placement_arrays(c432, placement) is after  # stable when clean
+
+
+class TestJobStateMachineProperties:
+    """Service job-state machine: the contracts the ISSUE pins.
+
+    Any event sequence either ends in a terminal state or stays live; no
+    event ever transitions out of ``done``/``failed``/``partial``; and job
+    records round-trip losslessly through their JSON wire schema.
+    """
+
+    @given(events=st.lists(st.sampled_from(EVENT_KINDS), max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_any_event_sequence_respects_the_transition_table(self, events):
+        from repro.service.schemas import (
+            InvalidTransition, JobStateMachine, JOB_STATES, TERMINAL_STATES,
+            TRANSITIONS,
+        )
+
+        machine = JobStateMachine()
+        for kind in events:
+            before = machine.state
+            try:
+                after = machine.apply(kind)
+            except InvalidTransition:
+                # Only legal way here: the machine had already terminated.
+                assert before in TERMINAL_STATES
+                assert machine.state == before  # the state did not move
+                continue
+            assert after in JOB_STATES
+            assert after == before or after in TRANSITIONS[before]
+            if before in TERMINAL_STATES:
+                pytest.fail("apply() returned after a terminal state")
+
+    @given(events=st.lists(st.sampled_from(EVENT_KINDS), max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_finished_and_error_always_terminate(self, events):
+        from repro.service.schemas import (
+            InvalidTransition, JobStateMachine, TERMINAL_STATES,
+        )
+
+        machine = JobStateMachine()
+        for kind in events:
+            try:
+                machine.apply(kind)
+            except InvalidTransition:
+                break
+            if kind in ("finished", "error"):
+                assert machine.state in TERMINAL_STATES
+        # error always lands in failed; finished in done|partial keyed on
+        # whether any seed was recorded lost along the way.
+        machine = JobStateMachine()
+        machine.apply("error")
+        assert machine.state == "failed"
+        clean = JobStateMachine()
+        clean.apply("finished")
+        assert clean.state == "done"
+        lossy = JobStateMachine()
+        lossy.apply("seed_failed")
+        lossy.apply("finished")
+        assert lossy.state == "partial"
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_job_records_round_trip_through_their_schema(self, data):
+        from repro.service.schemas import (
+            JOB_STATES, JobRecord, job_id_for, validate_job_dict,
+        )
+
+        spec = data.draw(scenario_specs())
+        on_error = data.draw(st.sampled_from(["raise", "skip"]))
+        record = JobRecord(
+            id=job_id_for(spec.content_hash(), on_error),
+            spec=spec.to_dict(),
+            spec_hash=spec.content_hash(),
+            state=data.draw(st.sampled_from(JOB_STATES)),
+            kind=data.draw(st.sampled_from(["sweep", "scenario"])),
+            jobs=data.draw(st.integers(1, 8)),
+            on_error=on_error,
+            created_utc="2026-01-01T00:00:00Z",
+            events=data.draw(st.integers(0, 100)),
+            progress=data.draw(st.dictionaries(
+                st.sampled_from(["build_dispatched", "build_completed",
+                                 "scenario_completed", "seed_failed"]),
+                st.integers(0, 50), max_size=4)),
+            requests=data.draw(st.integers(1, 16)),
+        )
+        wire = record.to_dict()
+        assert validate_job_dict(wire) == []
+        assert json.loads(json.dumps(wire)) == wire  # JSON-safe verbatim
+        assert JobRecord.from_dict(wire) == record
+
+    @given(state=st.sampled_from(["done", "failed", "partial"]),
+           kind=st.sampled_from(EVENT_KINDS))
+    @settings(max_examples=60, deadline=None)
+    def test_no_transition_out_of_terminal_states(self, state, kind):
+        from repro.service.schemas import InvalidTransition, JobStateMachine
+
+        machine = JobStateMachine(state)
+        with pytest.raises(InvalidTransition):
+            machine.apply(kind)
+        assert machine.state == state
