@@ -248,17 +248,19 @@ def main() -> None:
     largest = max(configs, key=lambda c: c["num_gates"])
     generated_utc = datetime.now(timezone.utc).isoformat(timespec="seconds")
     payload = {
-        "generated_utc": generated_utc,
-        "host": host_metadata(generated_utc),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "notes": (
-            "Legacy = seed-equivalent per-object Python loops; columnar = "
-            "grid/array implementations of repro.layout.arrays.  Cold numbers "
-            "rebuild the cached views (first touch after a geometry edit), "
-            "warm numbers reuse them.  The columnar paths are asserted "
-            "bit-exact against the legacy paths before timing."
-        ),
+        "meta": {
+            "generated_utc": generated_utc,
+            "host": host_metadata(generated_utc),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "notes": (
+                "Legacy = seed-equivalent per-object Python loops; columnar = "
+                "grid/array implementations of repro.layout.arrays.  Cold numbers "
+                "rebuild the cached views (first touch after a geometry edit), "
+                "warm numbers reuse them.  The columnar paths are asserted "
+                "bit-exact against the legacy paths before timing."
+            ),
+        },
         "configs": configs,
         "largest_config_speedups": largest["speedups"],
     }

@@ -57,6 +57,7 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
+import math
 import os
 import threading
 import time
@@ -180,27 +181,45 @@ def aggregate_sweep_values(values: List[Any]) -> Any:
     half-width); mappings aggregate recursively per key; anything
     non-numeric (or mappings with mismatched keys) is kept verbatim as
     ``{"per_seed": [...]}``.
+
+    Non-finite seeds (NaN/±inf — e.g. a degenerate STA leaf from one bad
+    seed) are excluded from the moments instead of poisoning every
+    statistic: ``n`` counts only the finite seeds that were aggregated, an
+    ``n_nonfinite`` key reports how many were dropped (present only when
+    that happened), and ``per_seed`` always keeps the raw values.  A leaf
+    with *no* finite seed reports ``None`` statistics with ``n=0``.
     """
     if values and all(
         isinstance(v, (int, float)) and not isinstance(v, bool) for v in values
     ):
         floats = [float(v) for v in values]
-        n = len(floats)
-        mean = sum(floats) / n
-        if n > 1:
-            variance = sum((v - mean) ** 2 for v in floats) / (n - 1)
-            std = variance ** 0.5
+        finite = [v for v in floats if math.isfinite(v)]
+        n = len(finite)
+        n_nonfinite = len(floats) - n
+        if n == 0:
+            stats: Dict[str, Any] = {
+                "mean": None, "std": None, "ci95": None,
+                "min": None, "max": None,
+            }
         else:
-            std = 0.0
-        return {
-            "mean": mean,
-            "std": std,
-            "ci95": 1.96 * std / (n ** 0.5),
-            "min": min(floats),
-            "max": max(floats),
-            "n": n,
-            "per_seed": values,
-        }
+            mean = sum(finite) / n
+            if n > 1:
+                variance = sum((v - mean) ** 2 for v in finite) / (n - 1)
+                std = variance ** 0.5
+            else:
+                std = 0.0
+            stats = {
+                "mean": mean,
+                "std": std,
+                "ci95": 1.96 * std / (n ** 0.5),
+                "min": min(finite),
+                "max": max(finite),
+            }
+        stats["n"] = n
+        if n_nonfinite:
+            stats["n_nonfinite"] = n_nonfinite
+        stats["per_seed"] = values
+        return stats
     if (
         values
         and all(isinstance(v, Mapping) for v in values)

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.layout.arrays import routing_backing
 from repro.layout.floorplan import Floorplan, build_floorplan
 from repro.layout.geometry import Point
 from repro.layout.layout import Layout
@@ -67,28 +68,60 @@ def routing_perturbation_defense(
     # die clamping run in a single pass over the coordinate arrays.
     die = floorplan.die
     decoy_reach = floorplan.half_perimeter_um * decoy_distance_fraction
-    connections: List[RoutedConnection] = []
-    for net_name in sorted(perturbed):
-        routed = routing.get(net_name)
-        if routed is not None:
-            connections.extend(routed.connections)
-    if connections:
-        # Anchors: (target.x, target.y, source.x, source.y) per connection.
-        anchors = np.asarray(
-            [(c.target.x, c.target.y, c.source.x, c.source.y) for c in connections],
-            dtype=np.float64,
-        )
-        offsets = np.asarray(
-            [[rng.uniform(-decoy_reach, decoy_reach) for _ in range(4)]
-             for _c in connections],
-            dtype=np.float64,
-        )
-        decoys = anchors + offsets
-        decoys[:, 0::2] = np.clip(decoys[:, 0::2], die.x_min, die.x_max)
-        decoys[:, 1::2] = np.clip(decoys[:, 1::2], die.y_min, die.y_max)
-        for connection, (sx, sy, tx, ty) in zip(connections, decoys):
-            connection.source_hint = Point(float(sx), float(sy))
-            connection.target_hint = Point(float(tx), float(ty))
+    backing = routing_backing(routing)
+    if backing is not None:
+        # Array-native: gather the perturbed connection indices from the
+        # CSR, compute anchors from the coordinate columns and write the
+        # decoys back through override_hints — no RoutedConnection is ever
+        # materialized.  RNG draw count and order match the object path.
+        position = {name: i for i, name in enumerate(backing.net_names)}
+        index_runs = [
+            np.arange(backing.conn_starts[position[name]],
+                      backing.conn_starts[position[name] + 1])
+            for name in sorted(perturbed) if name in position
+        ]
+        conn_idx = (np.concatenate(index_runs) if index_runs
+                    else np.empty(0, dtype=np.int64))
+        if conn_idx.size:
+            anchors = np.column_stack((
+                backing.tx[conn_idx], backing.ty[conn_idx],
+                backing.sx[conn_idx], backing.sy[conn_idx],
+            ))
+            offsets = np.asarray(
+                [[rng.uniform(-decoy_reach, decoy_reach) for _ in range(4)]
+                 for _i in range(conn_idx.size)],
+                dtype=np.float64,
+            )
+            decoys = anchors + offsets
+            decoys[:, 0::2] = np.clip(decoys[:, 0::2], die.x_min, die.x_max)
+            decoys[:, 1::2] = np.clip(decoys[:, 1::2], die.y_min, die.y_max)
+            backing.override_hints(
+                conn_idx, decoys[:, 0], decoys[:, 1],
+                decoys[:, 2], decoys[:, 3],
+            )
+    else:
+        connections: List[RoutedConnection] = []
+        for net_name in sorted(perturbed):
+            routed = routing.get(net_name)
+            if routed is not None:
+                connections.extend(routed.connections)
+        if connections:
+            # Anchors: (target.x, target.y, source.x, source.y) per connection.
+            anchors = np.asarray(
+                [(c.target.x, c.target.y, c.source.x, c.source.y) for c in connections],
+                dtype=np.float64,
+            )
+            offsets = np.asarray(
+                [[rng.uniform(-decoy_reach, decoy_reach) for _ in range(4)]
+                 for _c in connections],
+                dtype=np.float64,
+            )
+            decoys = anchors + offsets
+            decoys[:, 0::2] = np.clip(decoys[:, 0::2], die.x_min, die.x_max)
+            decoys[:, 1::2] = np.clip(decoys[:, 1::2], die.y_min, die.y_max)
+            for connection, (sx, sy, tx, ty) in zip(connections, decoys):
+                connection.source_hint = Point(float(sx), float(sy))
+                connection.target_hint = Point(float(tx), float(ty))
 
     return Layout(
         name=f"{netlist.name}_routing_perturbed",

@@ -24,8 +24,10 @@ from repro.layout.geometry import Point, Rect, manhattan
 from repro.layout.arrays import (
     LayoutArrays,
     PlacementArrays,
+    RoutingArrays,
     UniformGridIndex,
     placement_arrays,
+    routing_backing,
 )
 from repro.layout.floorplan import Floorplan, build_floorplan
 from repro.layout.placer import PlacementResult, place, place_batch
@@ -47,8 +49,10 @@ __all__ = [
     "manhattan",
     "LayoutArrays",
     "PlacementArrays",
+    "RoutingArrays",
     "UniformGridIndex",
     "placement_arrays",
+    "routing_backing",
     "Floorplan",
     "build_floorplan",
     "PlacementResult",

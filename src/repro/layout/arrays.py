@@ -45,11 +45,12 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
 
+from repro.layout.geometry import Point
 from repro.netlist.netlist import Netlist
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.layout.placer import PlacementResult
-    from repro.layout.router import RoutedNet
+    from repro.layout.router import RoutedConnection, RoutedNet, Via
 
 
 #: Attribute name under which cached array views are stored on their owning
@@ -553,6 +554,388 @@ def placement_arrays(netlist: Netlist, placement: "PlacementResult") -> Placemen
 
 
 # ---------------------------------------------------------------------------
+# Routing arrays (columnar routing + lazy object materialization)
+# ---------------------------------------------------------------------------
+
+
+def _fast_point(x: float, y: float) -> Point:
+    """Build a :class:`Point` through ``__dict__`` (same fast path as the
+    router's bulk constructors; Point is frozen, so the generated ``__init__``
+    funnels every field through ``object.__setattr__``)."""
+    point = Point.__new__(Point)
+    d = point.__dict__
+    d["x"] = x
+    d["y"] = y
+    return point
+
+
+def _group_sum(values: np.ndarray, bounds: np.ndarray) -> np.ndarray:
+    """Per-group **left-fold** float sums over CSR ``bounds``.
+
+    Bit-exact with ``sum(values[start:stop])`` in Python for every group:
+    ``np.add.reduceat`` (and ``np.sum``) use unrolled/pairwise accumulation
+    that reorders the additions from four elements up, so instead the fold
+    runs one vectorized ``+=`` per element *rank* — every group accumulates
+    its elements strictly left to right, starting from 0.0, exactly like the
+    per-object ``sum()`` loops this replaces.  Groups are processed sorted by
+    size so each rank's pass touches only the still-active groups; the total
+    work is ``O(len(values))`` element additions.
+    """
+    counts = np.diff(bounds)
+    n = len(counts)
+    acc = np.zeros(n, dtype=np.float64)
+    if n == 0 or values.size == 0:
+        return acc
+    order = np.argsort(counts, kind="stable")
+    sorted_counts = counts[order]
+    sorted_starts = bounds[:-1][order]
+    for rank in range(int(sorted_counts[-1])):
+        lo = int(np.searchsorted(sorted_counts, rank, side="right"))
+        # Each active group appears exactly once per rank, so the fancy-index
+        # in-place add is well-defined (no duplicate destination indices).
+        acc[order[lo:]] += values[sorted_starts[lo:] + rank]
+    return acc
+
+
+def _group_max(values: np.ndarray, bounds: np.ndarray,
+               floor: int) -> np.ndarray:
+    """Per-group integer maxima over CSR ``bounds`` (empty groups → ``floor``).
+
+    ``max`` is associative and exact on integers, so ``np.maximum.reduceat``
+    is safe here (unlike float sums, where accumulation order matters).
+    """
+    counts = np.diff(bounds)
+    n = len(counts)
+    out = np.full(n, floor, dtype=np.int64)
+    if n == 0 or values.size == 0:
+        return out
+    nonempty = counts > 0
+    starts = np.minimum(bounds[:-1], values.size - 1)
+    reduced = np.maximum.reduceat(values, starts)
+    out[nonempty] = np.maximum(reduced[nonempty], floor)
+    return out
+
+
+@dataclass(eq=False)
+class RoutingArrays:
+    """Columnar form of one routing: the segment/via/connection columns the
+    batched router computes, kept as the primary representation.
+
+    :func:`repro.layout.router.route` / ``route_batch`` produce one
+    ``RoutingArrays`` per placement and return **lazy**
+    :class:`~repro.layout.router.RoutedNet` shells backed by it: array-native
+    consumers (wirelength/via metrics, the PPA/STA wire loads, the store
+    codec) read the columns directly and never build a ``Segment``/``Via``/
+    ``RoutedConnection`` object; the first attribute access on a shell's
+    ``connections``/``driver_vias`` materializes that net's object graph
+    bit-exactly (see ``RoutedNet.__getattr__``).
+
+    Layout invariants:
+
+    * per-net and per-connection columns are CSR-sliced (``conn_starts``,
+      ``seg_starts``, ``via_starts``, ``dvia_starts``) and the flat geometry
+      columns are per-connection contiguous, in routing iteration order;
+    * per-connection via order matches :func:`route_connection`: bend vias,
+      close-x via, close-y via, then the sink pin stack;
+    * ``hint_default`` marks connections whose stub hints are the router's
+      defaults (source hint = target, target hint = source, materialized as
+      the *same objects*); overridden hints (``override_hints``) and decoded
+      payloads materialize fresh points from the hint columns, with the
+      ``hint_*_present`` masks distinguishing explicit ``None`` hints.
+      Hint columns hold 0.0 wherever the mask is clear;
+    * ``materialized_count`` counts nets whose objects were built; consumers
+      that would read columns behind possibly-mutated objects must require a
+      clean backing (:func:`routing_backing`).
+    """
+
+    # -- per-net columns ----------------------------------------------------
+    net_names: List[str]
+    conn_starts: np.ndarray       # (num_nets + 1,) int64
+    driver_x: np.ndarray          # (num_nets,) float64 (0.0 without driver)
+    driver_y: np.ndarray
+    has_driver: np.ndarray        # (num_nets,) bool
+    driver_points: List[Optional[Point]]
+    dvia_starts: np.ndarray       # (num_nets + 1,) int64
+    dvia_x: np.ndarray
+    dvia_y: np.ndarray
+    dvia_lower: np.ndarray        # int64
+    dvia_upper: np.ndarray        # int64
+    # -- per-connection columns --------------------------------------------
+    sink_refs: List[Tuple[str, str]]
+    sx: np.ndarray                # float64 source/target coordinates
+    sy: np.ndarray
+    tx: np.ndarray
+    ty: np.ndarray
+    h_layer: np.ndarray           # int64
+    v_layer: np.ndarray           # int64
+    protected: np.ndarray         # uint8
+    hint_sx: np.ndarray           # float64 (writable; see override_hints)
+    hint_sy: np.ndarray
+    hint_tx: np.ndarray
+    hint_ty: np.ndarray
+    hint_src_present: np.ndarray  # uint8
+    hint_tgt_present: np.ndarray  # uint8
+    hint_default: np.ndarray      # bool
+    seg_starts: np.ndarray        # (num_connections + 1,) int64
+    via_starts: np.ndarray        # (num_connections + 1,) int64
+    # -- flat geometry columns (per-connection contiguous) ------------------
+    seg_layer: np.ndarray         # int64
+    seg_x1: np.ndarray
+    seg_y1: np.ndarray
+    seg_x2: np.ndarray
+    seg_y2: np.ndarray
+    via_x: np.ndarray
+    via_y: np.ndarray
+    via_lower: np.ndarray         # int64
+    via_upper: np.ndarray         # int64
+    # -- endpoint object references (identity-preserving) -------------------
+    #: Router-built backings share the placement's Point objects; decoded
+    #: backings leave these None and materialize fresh points from sx/sy….
+    source_points: Optional[List[Point]] = None
+    target_points: Optional[List[Point]] = None
+    #: Per-connection net-name references (decoded payloads, where a stored
+    #: ``conn_net`` column may name a different net than the owning entry);
+    #: None → the owning net's name.
+    conn_net_names: Optional[List[str]] = None
+    # -- materialization bookkeeping ----------------------------------------
+    #: Number of nets whose object graphs have been materialized.  The
+    #: array-native fast paths require 0 (a materialized graph may have been
+    #: mutated behind the columns); tests assert it stays 0 on those paths.
+    materialized_count: int = field(default=0)
+    _shells: List[object] = field(default_factory=list, repr=False)
+    _materialized: List[bool] = field(default_factory=list, repr=False)
+    _conn_lengths: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.net_names)
+
+    @property
+    def num_connections(self) -> int:
+        return len(self.sink_refs)
+
+    # -- lazy object materialization ----------------------------------------
+    def lazy_nets(self) -> "Dict[str, RoutedNet]":
+        """Build the routing dict of lazy ``RoutedNet`` shells over this view.
+
+        Each shell carries only ``name``/``driver_point`` plus a reference
+        back here; ``connections``/``driver_vias`` appear in its ``__dict__``
+        on first access (``RoutedNet.__getattr__`` →
+        :meth:`materialize_into`).
+        """
+        from repro.layout.router import RoutedNet
+
+        new_net = RoutedNet.__new__
+        routing: Dict[str, RoutedNet] = {}
+        shells: List[RoutedNet] = []
+        for index, (name, point) in enumerate(
+                zip(self.net_names, self.driver_points)):
+            net = new_net(RoutedNet)
+            net.__dict__ = {
+                "name": name,
+                "driver_point": point,
+                "_lazy_backing": self,
+                "_lazy_index": index,
+            }
+            shells.append(net)
+            routing[name] = net
+        self._shells = shells
+        self._materialized = [False] * len(shells)
+        return routing
+
+    def materialize_into(self, shell: "RoutedNet") -> None:
+        """Populate ``shell.connections``/``shell.driver_vias`` from columns."""
+        index = shell.__dict__["_lazy_index"]
+        connections, driver_vias = self._materialize_net(index)
+        shell.__dict__["connections"] = connections
+        shell.__dict__["driver_vias"] = driver_vias
+        if self._materialized and not self._materialized[index]:
+            self._materialized[index] = True
+            self.materialized_count += 1
+
+    def _materialize_net(self, index: int
+                         ) -> "Tuple[List[RoutedConnection], List[Via]]":
+        """Bit-exact object graph of net ``index`` (same values, order and
+        ``__dict__`` layout as the eager :func:`route_connections_batch`
+        materialization)."""
+        from repro.layout.router import (
+            RoutedConnection,
+            _new_segments,
+            _new_vias,
+        )
+
+        c0 = int(self.conn_starts[index])
+        c1 = int(self.conn_starts[index + 1])
+        s0 = int(self.seg_starts[c0])
+        s1 = int(self.seg_starts[c1])
+        v0 = int(self.via_starts[c0])
+        v1 = int(self.via_starts[c1])
+        d0 = int(self.dvia_starts[index])
+        d1 = int(self.dvia_starts[index + 1])
+        segments_all = _new_segments(
+            self.seg_layer[s0:s1].tolist(), self.seg_x1[s0:s1].tolist(),
+            self.seg_y1[s0:s1].tolist(), self.seg_x2[s0:s1].tolist(),
+            self.seg_y2[s0:s1].tolist(),
+        )
+        vias_all = _new_vias(
+            self.via_x[v0:v1].tolist(), self.via_y[v0:v1].tolist(),
+            self.via_lower[v0:v1].tolist(), self.via_upper[v0:v1].tolist(),
+        )
+        driver_vias = _new_vias(
+            self.dvia_x[d0:d1].tolist(), self.dvia_y[d0:d1].tolist(),
+            self.dvia_lower[d0:d1].tolist(), self.dvia_upper[d0:d1].tolist(),
+        )
+        seg_local = (self.seg_starts[c0:c1 + 1] - s0).tolist()
+        via_local = (self.via_starts[c0:c1 + 1] - v0).tolist()
+        net_name = self.net_names[index]
+        h_l = self.h_layer[c0:c1].tolist()
+        v_l = self.v_layer[c0:c1].tolist()
+        sx_l = self.sx[c0:c1].tolist()
+        sy_l = self.sy[c0:c1].tolist()
+        tx_l = self.tx[c0:c1].tolist()
+        ty_l = self.ty[c0:c1].tolist()
+        hsx_l = self.hint_sx[c0:c1].tolist()
+        hsy_l = self.hint_sy[c0:c1].tolist()
+        htx_l = self.hint_tx[c0:c1].tolist()
+        hty_l = self.hint_ty[c0:c1].tolist()
+        hsp_l = self.hint_src_present[c0:c1].tolist()
+        htp_l = self.hint_tgt_present[c0:c1].tolist()
+        hdef_l = self.hint_default[c0:c1].tolist()
+        prot_l = self.protected[c0:c1].tolist()
+        new_connection = RoutedConnection.__new__
+        connections: List[RoutedConnection] = []
+        append = connections.append
+        for local, ci in enumerate(range(c0, c1)):
+            if self.source_points is not None:
+                source = self.source_points[ci]
+                target = self.target_points[ci]
+            else:
+                source = _fast_point(sx_l[local], sy_l[local])
+                target = _fast_point(tx_l[local], ty_l[local])
+            if hdef_l[local]:
+                source_hint: Optional[Point] = target
+                target_hint: Optional[Point] = source
+            else:
+                source_hint = (_fast_point(hsx_l[local], hsy_l[local])
+                               if hsp_l[local] else None)
+                target_hint = (_fast_point(htx_l[local], hty_l[local])
+                               if htp_l[local] else None)
+            connection = new_connection(RoutedConnection)
+            connection.__dict__ = {
+                "net": (self.conn_net_names[ci]
+                        if self.conn_net_names is not None else net_name),
+                "sink": self.sink_refs[ci],
+                "source": source,
+                "target": target,
+                "h_layer": h_l[local],
+                "v_layer": v_l[local],
+                "segments": segments_all[seg_local[local]:seg_local[local + 1]],
+                "vias": vias_all[via_local[local]:via_local[local + 1]],
+                "source_hint": source_hint,
+                "target_hint": target_hint,
+                "protected": bool(prot_l[local]),
+            }
+            append(connection)
+        return connections, driver_vias
+
+    # -- array-native reductions --------------------------------------------
+    def connection_lengths(self) -> np.ndarray:
+        """Routed length per connection — bit-exact with the object-walk
+        ``sum(segment.length for segment in connection.segments)`` (cached)."""
+        if self._conn_lengths is None:
+            seg_length = (
+                np.abs(self.seg_x2 - self.seg_x1)
+                + np.abs(self.seg_y2 - self.seg_y1)
+            )
+            self._conn_lengths = _group_sum(seg_length, self.seg_starts)
+        return self._conn_lengths
+
+    def net_lengths(self) -> np.ndarray:
+        """Routed length per net, in ``net_names`` order — bit-exact with
+        ``RoutedNet.length``."""
+        return _group_sum(self.connection_lengths(), self.conn_starts)
+
+    def net_top_layers(self) -> np.ndarray:
+        """Topmost layer per net (segments, vias, driver vias; floor 1) —
+        equal to ``RoutedNet.top_layer``."""
+        seg_bounds = self.seg_starts[self.conn_starts]
+        via_bounds = self.via_starts[self.conn_starts]
+        top = _group_max(self.seg_layer, seg_bounds, floor=1)
+        top = np.maximum(top, _group_max(self.via_upper, via_bounds, floor=1))
+        return np.maximum(
+            top, _group_max(self.dvia_upper, self.dvia_starts, floor=1)
+        )
+
+    # -- in-place hint overrides (routing-perturbation defense) -------------
+    def override_hints(self, conn_indices: np.ndarray, hint_sx: np.ndarray,
+                       hint_sy: np.ndarray, hint_tx: np.ndarray,
+                       hint_ty: np.ndarray) -> None:
+        """Re-aim the FEOL stub hints of ``conn_indices`` without
+        materializing: the hint columns are updated in place and future
+        materializations build the overridden points.  Nets already
+        materialized get their connection objects patched too, so columns
+        and objects never disagree.
+        """
+        self.hint_sx[conn_indices] = hint_sx
+        self.hint_sy[conn_indices] = hint_sy
+        self.hint_tx[conn_indices] = hint_tx
+        self.hint_ty[conn_indices] = hint_ty
+        self.hint_src_present[conn_indices] = 1
+        self.hint_tgt_present[conn_indices] = 1
+        self.hint_default[conn_indices] = False
+        if not self.materialized_count:
+            return
+        for ci in np.asarray(conn_indices).tolist():
+            net_idx = int(
+                np.searchsorted(self.conn_starts, ci, side="right") - 1
+            )
+            if not self._materialized or not self._materialized[net_idx]:
+                continue
+            shell = self._shells[net_idx]
+            connection = shell.__dict__["connections"][
+                ci - int(self.conn_starts[net_idx])
+            ]
+            connection.source_hint = _fast_point(
+                float(self.hint_sx[ci]), float(self.hint_sy[ci])
+            )
+            connection.target_hint = _fast_point(
+                float(self.hint_tx[ci]), float(self.hint_ty[ci])
+            )
+
+
+def routing_backing(routing: "Dict[str, RoutedNet]",
+                    require_clean: bool = True) -> Optional[RoutingArrays]:
+    """The shared :class:`RoutingArrays` behind a routing dict, if usable.
+
+    Returns the backing only when **every** net of ``routing`` is the lazy
+    shell of one common backing, in the backing's net order — i.e. the dict
+    is (a shallow copy of) a ``route()``/decode product, not a hand-assembled
+    or re-keyed mapping.  With ``require_clean`` (the default for the
+    array-native fast paths) a backing with any materialized net is rejected
+    too: materialized object graphs are mutable behind the columns, so
+    consumers must fall back to the object walk.
+    """
+    if not routing:
+        return None
+    backing: Optional[RoutingArrays] = None
+    for index, net in enumerate(routing.values()):
+        net_backing = net.__dict__.get("_lazy_backing")
+        if net_backing is None:
+            return None
+        if backing is None:
+            backing = net_backing
+        elif net_backing is not backing:
+            return None
+        if net.__dict__.get("_lazy_index") != index:
+            return None
+    if backing is None or backing.num_nets != len(routing):
+        return None
+    if require_clean and backing.materialized_count:
+        return None
+    return backing
+
+
+# ---------------------------------------------------------------------------
 # Layout arrays (placement + routing columns)
 # ---------------------------------------------------------------------------
 
@@ -613,6 +996,9 @@ class LayoutArrays:
     def build(netlist: Netlist, placement: "PlacementResult",
               routing: Dict[str, "RoutedNet"]) -> "LayoutArrays":
         base = placement_arrays(netlist, placement)
+        backing = routing_backing(routing)
+        if backing is not None:
+            return LayoutArrays._from_routing_arrays(base, backing)
         routed_net_names = list(routing)
         seg_layer: List[int] = []
         seg_length: List[float] = []
@@ -636,4 +1022,56 @@ class LayoutArrays:
             seg_net=np.asarray(seg_net, dtype=np.intp),
             via_lower=np.asarray(via_lower, dtype=np.int64),
             via_net=np.asarray(via_net, dtype=np.intp),
+        )
+
+    @staticmethod
+    def _from_routing_arrays(base: PlacementArrays,
+                             backing: RoutingArrays) -> "LayoutArrays":
+        """Array-native :meth:`build`: pure column work over a clean
+        :class:`RoutingArrays`, no object graphs touched.
+
+        Reproduces the object walk exactly: per-segment lengths are the same
+        ``|dx| + |dy|`` expression ``Segment.length`` evaluates, and the via
+        column interleaves each net's driver vias before its connection vias
+        (the ``RoutedNet.all_vias`` order).
+        """
+        num_nets = backing.num_nets
+        net_ids = np.arange(num_nets, dtype=np.intp)
+        seg_bounds = backing.seg_starts[backing.conn_starts]
+        seg_per_net = np.diff(seg_bounds)
+        via_bounds = backing.via_starts[backing.conn_starts]
+        cvia_per_net = np.diff(via_bounds)
+        dvia_per_net = np.diff(backing.dvia_starts)
+        out_starts = np.concatenate(
+            ([0], np.cumsum(dvia_per_net + cvia_per_net))
+        )
+        via_lower = np.empty(int(out_starts[-1]), dtype=np.int64)
+        drep = np.repeat(net_ids, dvia_per_net)
+        dpos = (
+            out_starts[:-1][drep]
+            + np.arange(drep.size, dtype=np.int64)
+            - backing.dvia_starts[:-1][drep]
+        )
+        via_lower[dpos] = backing.dvia_lower
+        crep = np.repeat(net_ids, cvia_per_net)
+        cpos = (
+            out_starts[:-1][crep] + dvia_per_net[crep]
+            + np.arange(crep.size, dtype=np.int64)
+            - via_bounds[:-1][crep]
+        )
+        via_lower[cpos] = backing.via_lower
+        return LayoutArrays(
+            placement=base,
+            routed_net_names=list(backing.net_names),
+            routed_net_index={
+                name: i for i, name in enumerate(backing.net_names)
+            },
+            seg_layer=backing.seg_layer,
+            seg_length=(
+                np.abs(backing.seg_x2 - backing.seg_x1)
+                + np.abs(backing.seg_y2 - backing.seg_y1)
+            ),
+            seg_net=np.repeat(net_ids, seg_per_net),
+            via_lower=via_lower,
+            via_net=np.repeat(net_ids, dvia_per_net + cvia_per_net),
         )

@@ -50,6 +50,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
+from repro.layout.arrays import RoutingArrays
 from repro.layout.floorplan import Floorplan
 from repro.layout.geometry import Point, manhattan
 from repro.layout.placer import PlacementResult
@@ -127,12 +128,50 @@ class RoutedConnection:
 
 @dataclass
 class RoutedNet:
-    """All routed connections of one net plus the shared driver via stack."""
+    """All routed connections of one net plus the shared driver via stack.
+
+    :func:`route`/:func:`route_batch` return **lazy** instances backed by a
+    :class:`~repro.layout.arrays.RoutingArrays` view: ``connections`` and
+    ``driver_vias`` are absent from the instance until first attribute
+    access, at which point the backing materializes the net's object graph
+    bit-exactly (``__getattr__`` below).  Array-native consumers that go
+    through :func:`~repro.layout.arrays.routing_backing` read the columns
+    directly and never trigger materialization; every object-level consumer
+    — including equality, ``repr`` and pickling — observes exactly the
+    eagerly-built graph.
+    """
 
     name: str
     driver_point: Optional[Point]
     connections: List[RoutedConnection] = field(default_factory=list)
     driver_vias: List[Via] = field(default_factory=list)
+
+    def __getattr__(self, name: str):
+        # Only reached when normal lookup fails: on a lazy shell the two
+        # list fields are missing from __dict__ until materialized.
+        if name in ("connections", "driver_vias"):
+            backing = self.__dict__.get("_lazy_backing")
+            if backing is not None:
+                backing.materialize_into(self)
+                return self.__dict__[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __getstate__(self):
+        # Pickle the exact field dict a legacy eager instance carried (same
+        # keys, same order), materializing if needed — lazy and eager nets
+        # produce identical pickle bytes, and unpickled nets are plain
+        # object-backed nets.
+        return {
+            "name": self.name,
+            "driver_point": self.driver_point,
+            "connections": self.connections,
+            "driver_vias": self.driver_vias,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.__dict__ = state
 
     @property
     def length(self) -> float:
@@ -385,24 +424,43 @@ def route_connections_batch(requests: Sequence[ConnectionRequest],
     )
 
 
-def _batch_connections(net_names: List[str], sink_refs: List[SinkRef],
-                       sources: List[Point], targets: List[Point],
-                       h: np.ndarray, v: np.ndarray,
-                       source_hints: Optional[List[Optional[Point]]],
-                       target_hints: Optional[List[Optional[Point]]],
-                       config: RouterConfig, half_perimeter: float,
-                       sx: Optional[np.ndarray] = None,
-                       sy: Optional[np.ndarray] = None,
-                       tx: Optional[np.ndarray] = None,
-                       ty: Optional[np.ndarray] = None) -> List[RoutedConnection]:
-    """Columnar core of :func:`route_connections_batch` (parallel lists in)."""
-    m = len(sink_refs)
-    if sx is None:
-        sx = np.asarray([p.x for p in sources], dtype=np.float64)
-        sy = np.asarray([p.y for p in sources], dtype=np.float64)
-    if tx is None:
-        tx = np.asarray([p.x for p in targets], dtype=np.float64)
-        ty = np.asarray([p.y for p in targets], dtype=np.float64)
+@dataclass
+class _ConnectionColumns:
+    """Flat segment/via geometry columns, CSR-sliced per connection.
+
+    The complete output of the batched staircase construction with **zero**
+    Python objects: segment ``i`` of connection ``c`` lives at flat index
+    ``seg_starts[c] + i``.  Per-connection piece order matches
+    :func:`route_connection` exactly — staircase steps, close-x, close-y for
+    segments; bend vias, close-x via, close-y via, sink pin stack for vias.
+    """
+
+    seg_starts: np.ndarray  # (m + 1,) int64
+    via_starts: np.ndarray  # (m + 1,) int64
+    seg_layer: np.ndarray   # int64
+    seg_x1: np.ndarray      # float64
+    seg_y1: np.ndarray
+    seg_x2: np.ndarray
+    seg_y2: np.ndarray
+    via_x: np.ndarray       # float64
+    via_y: np.ndarray
+    via_lower: np.ndarray   # int64
+    via_upper: np.ndarray   # int64
+
+
+def _connection_columns(h: np.ndarray, v: np.ndarray, config: RouterConfig,
+                        half_perimeter: float, sx: np.ndarray, sy: np.ndarray,
+                        tx: np.ndarray, ty: np.ndarray) -> _ConnectionColumns:
+    """Batched staircase geometry as flat columns (no objects built).
+
+    Every floating-point expression is evaluated with the same operations,
+    in the same order, as :func:`route_connection`; the columns are scattered
+    straight into their final per-connection CSR slots, so materializing
+    objects from them (eagerly in :func:`route_connections_batch`, lazily
+    through :class:`~repro.layout.arrays.RoutingArrays`) reproduces the
+    reference bit for bit.
+    """
+    m = len(h)
     dx = tx - sx
     dy = ty - sy
     lengths = np.abs(sx - tx) + np.abs(sy - ty)  # == manhattan(source, target)
@@ -435,19 +493,47 @@ def _batch_connections(net_names: List[str], sink_refs: List[SinkRef],
     degenerate = (abs_dx < 1e-9) & (abs_dy < 1e-9)
     straight = ((abs_dx < 1e-9) | (abs_dy < 1e-9)) & ~degenerate
     stair = ~degenerate & ~straight
-
-    # --- staircase step columns (CSR over per-connection step counts) ------
     stair_idx = np.nonzero(stair)[0]
-    local_of = np.full(m, -1, dtype=np.int64)
-    stair_segments: List[Segment] = []
-    bend_vias: List[Via] = []
+    straight_idx = np.nonzero(straight)[0]
+
+    # --- per-connection piece counts → CSR starts ---------------------------
+    seg_counts = np.zeros(m, dtype=np.int64)
+    seg_counts[straight_idx] = 1
+    stack_counts = np.maximum(h - config.pin_layer, 0)
+    via_counts = stack_counts.astype(np.int64)
     if stair_idx.size:
-        local_of[stair_idx] = np.arange(stair_idx.size)
         ssteps = jogs[stair_idx] + 1  # steps per stair connection, >= 2
-        seg_starts = np.concatenate(([0], np.cumsum(ssteps)))
-        total = int(seg_starts[-1])
+        # Where the staircase loop leaves off, and whether the remaining
+        # offset in either direction exceeds the closing tolerance — needed
+        # up front because the closers contribute to the piece counts.
+        last_even = np.where((ssteps - 1) % 2 == 0, ssteps - 1, ssteps - 2)
+        last_odd = np.where((ssteps - 1) % 2 == 1, ssteps - 1, ssteps - 2)
+        x_end = sx[stair_idx] + dx[stair_idx] * ((last_even + 1) / ssteps)
+        y_end = sy[stair_idx] + dy[stair_idx] * ((last_odd + 1) / ssteps)
+        cx_mask = np.abs(x_end - tx[stair_idx]) > 1e-9
+        cy_mask = np.abs(y_end - ty[stair_idx]) > 1e-9
+        closers = cx_mask.astype(np.int64) + cy_mask.astype(np.int64)
+        seg_counts[stair_idx] = ssteps + closers
+        via_counts[stair_idx] += (ssteps - 1) + closers
+    seg_starts = np.concatenate(([0], np.cumsum(seg_counts)))
+    via_starts = np.concatenate(([0], np.cumsum(via_counts)))
+    num_segs = int(seg_starts[-1])
+    num_vias = int(via_starts[-1])
+    seg_layer = np.empty(num_segs, dtype=np.int64)
+    seg_x1 = np.empty(num_segs, dtype=np.float64)
+    seg_y1 = np.empty(num_segs, dtype=np.float64)
+    seg_x2c = np.empty(num_segs, dtype=np.float64)
+    seg_y2c = np.empty(num_segs, dtype=np.float64)
+    via_x = np.empty(num_vias, dtype=np.float64)
+    via_y = np.empty(num_vias, dtype=np.float64)
+    via_lower = np.empty(num_vias, dtype=np.int64)
+    via_upper = np.empty(num_vias, dtype=np.int64)
+
+    # --- staircase steps (CSR over per-connection step counts) --------------
+    if stair_idx.size:
+        local_starts = np.concatenate(([0], np.cumsum(ssteps)))
         rep = np.repeat(np.arange(stair_idx.size), ssteps)
-        k = np.arange(total, dtype=np.int64) - seg_starts[rep]
+        k = np.arange(int(local_starts[-1]), dtype=np.int64) - local_starts[rep]
         conn = stair_idx[rep]
         steps_r = ssteps[rep]
         sxr, syr = sx[conn], sy[conn]
@@ -471,86 +557,125 @@ def _batch_connections(net_names: List[str], sink_refs: List[SinkRef],
             np.where(k == 0, syr, syr + dyr * frac_k),
             np.where(k == 1, syr, syr + dyr * frac_km1),
         )
-        seg_layer = np.where(even, h[conn], v[conn])
-        seg_x2 = np.where(even, new_x, x_prev)
-        seg_y2 = np.where(even, y_prev, new_y)
-        stair_segments = _new_segments(
-            seg_layer.tolist(), x_prev.tolist(), y_prev.tolist(),
-            seg_x2.tolist(), seg_y2.tolist(),
-        )
+        x2v = np.where(even, new_x, x_prev)
+        y2v = np.where(even, y_prev, new_y)
+        dest = seg_starts[conn] + k  # step k is segment k of its connection
+        seg_layer[dest] = np.where(even, h[conn], v[conn])
+        seg_x1[dest] = x_prev
+        seg_y1[dest] = y_prev
+        seg_x2c[dest] = x2v
+        seg_y2c[dest] = y2v
         # One H<->V via after every non-final step, at the step's endpoint.
         bend = k < (steps_r - 1)
-        bend_vias = _new_vias(
-            seg_x2[bend].tolist(), seg_y2[bend].tolist(),
-            h[conn][bend].tolist(), v[conn][bend].tolist(),
-        )
-        bend_starts_l = np.concatenate(([0], np.cumsum(ssteps - 1))).tolist()
-        # Where the staircase loop left off, and whether the remaining offset
-        # in either direction exceeds the closing tolerance.
-        last_even = np.where((ssteps - 1) % 2 == 0, ssteps - 1, ssteps - 2)
-        last_odd = np.where((ssteps - 1) % 2 == 1, ssteps - 1, ssteps - 2)
-        x_end = sx[stair_idx] + dx[stair_idx] * ((last_even + 1) / ssteps)
-        y_end = sy[stair_idx] + dy[stair_idx] * ((last_odd + 1) / ssteps)
-        cx_mask = np.abs(x_end - tx[stair_idx]) > 1e-9
-        cy_mask = np.abs(y_end - ty[stair_idx]) > 1e-9
-        close_x_l = cx_mask.tolist()
-        close_y_l = cy_mask.tolist()
-        seg_starts_l = seg_starts.tolist()
-        # Closing pieces (the remaining offset after the staircase) as flat
-        # columns too: the geometry is the same Segment/Via the reference
-        # appends after its loop, built here with the batch fast path and
-        # consumed in connection order by the materialization below.
-        hs, vs = h[stair_idx], v[stair_idx]
-        close_x_segs = iter(_new_segments(
-            hs[cx_mask].tolist(), x_end[cx_mask].tolist(),
-            y_end[cx_mask].tolist(), tx[stair_idx][cx_mask].tolist(),
-            y_end[cx_mask].tolist(),
-        ))
-        close_x_vias = iter(_new_vias(
-            x_end[cx_mask].tolist(), y_end[cx_mask].tolist(),
-            hs[cx_mask].tolist(), vs[cx_mask].tolist(),
-        ))
+        bdest = via_starts[conn[bend]] + k[bend]
+        via_x[bdest] = x2v[bend]
+        via_y[bdest] = y2v[bend]
+        via_lower[bdest] = h[conn][bend]
+        via_upper[bdest] = v[conn][bend]
+        # Closing pieces: the remaining offset after the staircase, appended
+        # right after the steps (close-x first, like the reference).
+        sel = stair_idx[cx_mask]
+        sdest = seg_starts[sel] + ssteps[cx_mask]
+        seg_layer[sdest] = h[sel]
+        seg_x1[sdest] = x_end[cx_mask]
+        seg_y1[sdest] = y_end[cx_mask]
+        seg_x2c[sdest] = tx[sel]
+        seg_y2c[sdest] = y_end[cx_mask]
+        vdest = via_starts[sel] + (ssteps[cx_mask] - 1)
+        via_x[vdest] = x_end[cx_mask]
+        via_y[vdest] = y_end[cx_mask]
+        via_lower[vdest] = h[sel]
+        via_upper[vdest] = v[sel]
         # close-y starts from target.x when close-x already closed that axis.
         x_at = np.where(cx_mask, tx[stair_idx], x_end)
-        close_y_segs = iter(_new_segments(
-            vs[cy_mask].tolist(), x_at[cy_mask].tolist(),
-            y_end[cy_mask].tolist(), x_at[cy_mask].tolist(),
-            ty[stair_idx][cy_mask].tolist(),
-        ))
-        close_y_vias = iter(_new_vias(
-            x_at[cy_mask].tolist(), y_end[cy_mask].tolist(),
-            hs[cy_mask].tolist(), vs[cy_mask].tolist(),
-        ))
+        sel = stair_idx[cy_mask]
+        cxi = cx_mask[cy_mask].astype(np.int64)
+        sdest = seg_starts[sel] + ssteps[cy_mask] + cxi
+        seg_layer[sdest] = v[sel]
+        seg_x1[sdest] = x_at[cy_mask]
+        seg_y1[sdest] = y_end[cy_mask]
+        seg_x2c[sdest] = x_at[cy_mask]
+        seg_y2c[sdest] = ty[sel]
+        vdest = via_starts[sel] + (ssteps[cy_mask] - 1) + cxi
+        via_x[vdest] = x_at[cy_mask]
+        via_y[vdest] = y_end[cy_mask]
+        via_lower[vdest] = h[sel]
+        via_upper[vdest] = v[sel]
 
-    # --- straight (single-segment) connections as flat columns --------------
-    straight_idx = np.nonzero(straight)[0]
+    # --- straight (single-segment) connections ------------------------------
     if straight_idx.size:
-        s_layer = np.where(abs_dy[straight_idx] < 1e-9,
-                           h[straight_idx], v[straight_idx])
-        straight_segs = iter(_new_segments(
-            s_layer.tolist(), sx[straight_idx].tolist(),
-            sy[straight_idx].tolist(), tx[straight_idx].tolist(),
-            ty[straight_idx].tolist(),
-        ))
+        sdest = seg_starts[straight_idx]
+        seg_layer[sdest] = np.where(abs_dy[straight_idx] < 1e-9,
+                                    h[straight_idx], v[straight_idx])
+        seg_x1[sdest] = sx[straight_idx]
+        seg_y1[sdest] = sy[straight_idx]
+        seg_x2c[sdest] = tx[straight_idx]
+        seg_y2c[sdest] = ty[straight_idx]
 
-    # --- sink pin stacks for every connection -------------------------------
-    stack_counts = np.maximum(h - config.pin_layer, 0)
+    # --- sink pin stacks: the last stack_counts[c] vias of connection c -----
     stack_starts = np.concatenate(([0], np.cumsum(stack_counts)))
     stack_rep = np.repeat(np.arange(m), stack_counts)
-    stack_layer = config.pin_layer + (
-        np.arange(int(stack_starts[-1]), dtype=np.int64) - stack_starts[stack_rep]
+    local = (
+        np.arange(int(stack_starts[-1]), dtype=np.int64)
+        - stack_starts[stack_rep]
     )
-    stack_vias = _new_vias(
-        tx[stack_rep].tolist(), ty[stack_rep].tolist(),
-        stack_layer.tolist(), (stack_layer + 1).tolist(),
+    vdest = (
+        via_starts[stack_rep]
+        + (via_counts[stack_rep] - stack_counts[stack_rep])
+        + local
+    )
+    via_x[vdest] = tx[stack_rep]
+    via_y[vdest] = ty[stack_rep]
+    via_lower[vdest] = config.pin_layer + local
+    via_upper[vdest] = config.pin_layer + local + 1
+
+    return _ConnectionColumns(
+        seg_starts=seg_starts, via_starts=via_starts,
+        seg_layer=seg_layer, seg_x1=seg_x1, seg_y1=seg_y1,
+        seg_x2=seg_x2c, seg_y2=seg_y2c,
+        via_x=via_x, via_y=via_y, via_lower=via_lower, via_upper=via_upper,
+    )
+
+
+def _batch_connections(net_names: List[str], sink_refs: List[SinkRef],
+                       sources: List[Point], targets: List[Point],
+                       h: np.ndarray, v: np.ndarray,
+                       source_hints: Optional[List[Optional[Point]]],
+                       target_hints: Optional[List[Optional[Point]]],
+                       config: RouterConfig, half_perimeter: float,
+                       sx: Optional[np.ndarray] = None,
+                       sy: Optional[np.ndarray] = None,
+                       tx: Optional[np.ndarray] = None,
+                       ty: Optional[np.ndarray] = None) -> List[RoutedConnection]:
+    """Columnar core of :func:`route_connections_batch` (parallel lists in).
+
+    Builds the flat geometry columns and materializes the per-connection
+    object graphs eagerly — the entry point for callers that need the
+    objects themselves (``repro.core.restore`` hand-assembles nets from
+    them); :func:`route` keeps the columns instead and materializes lazily.
+    """
+    if sx is None:
+        sx = np.asarray([p.x for p in sources], dtype=np.float64)
+        sy = np.asarray([p.y for p in sources], dtype=np.float64)
+    if tx is None:
+        tx = np.asarray([p.x for p in targets], dtype=np.float64)
+        ty = np.asarray([p.y for p in targets], dtype=np.float64)
+    columns = _connection_columns(
+        h, v, config, half_perimeter, sx, sy, tx, ty
     )
 
     # --- materialization (plain-list indexing only) -------------------------
+    segments_all = _new_segments(
+        columns.seg_layer.tolist(), columns.seg_x1.tolist(),
+        columns.seg_y1.tolist(), columns.seg_x2.tolist(),
+        columns.seg_y2.tolist(),
+    )
+    vias_all = _new_vias(
+        columns.via_x.tolist(), columns.via_y.tolist(),
+        columns.via_lower.tolist(), columns.via_upper.tolist(),
+    )
     h_l = h.tolist()
     v_l = v.tolist()
-    local_l = local_of.tolist()
-    degenerate_l = degenerate.tolist()
-    stack_starts_l = stack_starts.tolist()
     if source_hints is None:
         source_hints = repeat(None)
     if target_hints is None:
@@ -558,34 +683,16 @@ def _batch_connections(net_names: List[str], sink_refs: List[SinkRef],
     out: List[RoutedConnection] = []
     append = out.append
     new_connection = RoutedConnection.__new__
-    stack_lo = 0
+    seg_lo = 0
+    via_lo = 0
     # Same __dict__ fast path as _new_segments/_new_vias, iterated as one
     # zip over the columns (tuple unpacking beats per-column indexing): this
     # loop materializes one RoutedConnection per sink pin of the design.
-    for (net_name, sink, source, target, h_layer, v_layer, li, is_degen,
-         source_hint, target_hint, stack_hi) in zip(
-            net_names, sink_refs, sources, targets, h_l, v_l, local_l,
-            degenerate_l, source_hints, target_hints, stack_starts_l[1:]):
-        if li >= 0:
-            segments = stair_segments[seg_starts_l[li]:seg_starts_l[li + 1]]
-            vias = bend_vias[bend_starts_l[li]:bend_starts_l[li + 1]]
-            if close_x_l[li]:
-                segments.append(next(close_x_segs))
-                vias.append(next(close_x_vias))
-            if close_y_l[li]:
-                segments.append(next(close_y_segs))
-                vias.append(next(close_y_vias))
-        elif is_degen:
-            segments = []
-            vias = []
-        else:
-            segments = [next(straight_segs)]
-            vias = []
-        if stack_hi - stack_lo == 1:  # single pin via, the common case
-            vias.append(stack_vias[stack_lo])
-        elif stack_hi > stack_lo:
-            vias.extend(stack_vias[stack_lo:stack_hi])
-        stack_lo = stack_hi
+    for (net_name, sink, source, target, h_layer, v_layer, source_hint,
+         target_hint, seg_hi, via_hi) in zip(
+            net_names, sink_refs, sources, targets, h_l, v_l,
+            source_hints, target_hints,
+            columns.seg_starts.tolist()[1:], columns.via_starts.tolist()[1:]):
         connection = new_connection(RoutedConnection)
         connection.__dict__ = {
             "net": net_name,
@@ -594,12 +701,14 @@ def _batch_connections(net_names: List[str], sink_refs: List[SinkRef],
             "target": target,
             "h_layer": h_layer,
             "v_layer": v_layer,
-            "segments": segments,
-            "vias": vias,
+            "segments": segments_all[seg_lo:seg_hi],
+            "vias": vias_all[via_lo:via_hi],
             "source_hint": source_hint if source_hint is not None else target,
             "target_hint": target_hint if target_hint is not None else source,
             "protected": False,
         }
+        seg_lo = seg_hi
+        via_lo = via_hi
         append(connection)
     return out
 
@@ -860,10 +969,15 @@ def _route_with_skeleton(skeleton: _RoutingSkeleton,
                          placement: PlacementResult, config: RouterConfig,
                          min_layer_per_net: Mapping[str, int],
                          vectorizable: bool) -> Dict[str, RoutedNet]:
-    """Route one placement through a (shared) routing skeleton."""
-    routed: Dict[str, RoutedNet] = {}
+    """Route one placement through a (shared) routing skeleton.
+
+    The geometry never leaves column form here: the returned dict holds lazy
+    :class:`RoutedNet` shells over one :class:`RoutingArrays` backing, and
+    per-object graphs are only materialized if a consumer actually touches
+    ``connections``/``driver_vias``.
+    """
     if not skeleton.entries:
-        return routed
+        return {}
     half_perimeter = placement.floorplan.half_perimeter_um
     points = skeleton.points(placement)
     entry_sources = [points[i] for i in skeleton.entry_source_slots]
@@ -893,48 +1007,67 @@ def _route_with_skeleton(skeleton: _RoutingSkeleton,
         h = np.asarray([pair[0] for pair in selected], dtype=np.int64)
         v = np.asarray([pair[1] for pair in selected], dtype=np.int64)
 
-    connections = _batch_connections(
-        net_names, skeleton.sink_refs, sources, targets, h, v,
-        source_hints=None, target_hints=None,
-        config=config, half_perimeter=half_perimeter,
-        sx=sx, sy=sy, tx=tx, ty=ty,
+    columns = _connection_columns(
+        h, v, config, half_perimeter, sx, sy, tx, ty
     )
 
     # Driver pin via stacks, shared by all connections of a net, reach the
-    # highest H layer any connection uses: per-net max in one reduceat pass,
-    # then all stacks at once as flat via columns.  Every skeleton entry has
-    # a driver or is a primary input (anything else has no source and was
+    # highest H layer any connection uses: per-net max in one reduceat pass
+    # (max over integers is order-independent, so reduceat is exact), then
+    # all stacks at once as flat via columns.  Every skeleton entry has a
+    # driver or is a primary input (anything else has no source and was
     # skipped), so every routed net gets its stack — like the reference.
     max_h_per_net = np.maximum(
         np.maximum.reduceat(h, skeleton.net_starts), config.pin_layer
     )
     stack_counts = max_h_per_net - config.pin_layer
-    stack_starts = np.concatenate(([0], np.cumsum(stack_counts)))
+    dvia_starts = np.concatenate(([0], np.cumsum(stack_counts))).astype(np.int64)
     stack_rep = np.repeat(np.arange(len(skeleton.entries)), stack_counts)
     stack_layer = config.pin_layer + (
-        np.arange(int(stack_starts[-1]), dtype=np.int64)
-        - stack_starts[stack_rep]
-    )
-    driver_vias = _new_vias(
-        esx[stack_rep].tolist(), esy[stack_rep].tolist(),
-        stack_layer.tolist(), (stack_layer + 1).tolist(),
+        np.arange(int(dvia_starts[-1]), dtype=np.int64)
+        - dvia_starts[stack_rep]
     )
 
-    stack_starts_l = stack_starts.tolist()
-    new_net = RoutedNet.__new__
-    stack_lo = 0
-    for (net_name, _net, _is_port, _src, start, stop), source, stack_hi in zip(
-            skeleton.entries, entry_sources, stack_starts_l[1:]):
-        routed_net = new_net(RoutedNet)
-        routed_net.__dict__ = {
-            "name": net_name,
-            "driver_point": source,
-            "connections": connections[start:stop],
-            "driver_vias": driver_vias[stack_lo:stack_hi],
-        }
-        stack_lo = stack_hi
-        routed[net_name] = routed_net
-    return routed
+    # Hint columns hold the router defaults (source hint = target, target
+    # hint = source); hint_default additionally makes materialization reuse
+    # the endpoint Point objects instead of building fresh ones, exactly
+    # like the eager path.
+    num_nets = len(skeleton.entries)
+    backing = RoutingArrays(
+        net_names=[entry[0] for entry in skeleton.entries],
+        conn_starts=np.concatenate(
+            (skeleton.net_starts, [m])
+        ).astype(np.int64),
+        driver_x=esx,
+        driver_y=esy,
+        has_driver=np.ones(num_nets, dtype=bool),
+        driver_points=entry_sources,
+        dvia_starts=dvia_starts,
+        dvia_x=esx[stack_rep],
+        dvia_y=esy[stack_rep],
+        dvia_lower=stack_layer,
+        dvia_upper=stack_layer + 1,
+        sink_refs=skeleton.sink_refs,
+        sx=sx, sy=sy, tx=tx, ty=ty,
+        h_layer=h,
+        v_layer=v,
+        protected=np.zeros(m, dtype=np.uint8),
+        hint_sx=tx.copy(), hint_sy=ty.copy(),
+        hint_tx=sx.copy(), hint_ty=sy.copy(),
+        hint_src_present=np.ones(m, dtype=np.uint8),
+        hint_tgt_present=np.ones(m, dtype=np.uint8),
+        hint_default=np.ones(m, dtype=bool),
+        seg_starts=columns.seg_starts,
+        via_starts=columns.via_starts,
+        seg_layer=columns.seg_layer,
+        seg_x1=columns.seg_x1, seg_y1=columns.seg_y1,
+        seg_x2=columns.seg_x2, seg_y2=columns.seg_y2,
+        via_x=columns.via_x, via_y=columns.via_y,
+        via_lower=columns.via_lower, via_upper=columns.via_upper,
+        source_points=sources,
+        target_points=targets,
+    )
+    return backing.lazy_nets()
 
 
 def route(netlist: Netlist, placement: PlacementResult,

@@ -17,11 +17,15 @@ protocol the pool workers already use:
 :func:`encode_build` flattens a :class:`~repro.api.schemes.SchemeBuild`
 into ``(record, arrays)`` — a JSON-compatible metadata record plus a dict
 of NumPy arrays — and :func:`decode_build` reverses it against a freshly
-regenerated netlist, materializing ordinary :class:`~repro.layout.layout.
-Layout` / :class:`~repro.layout.placer.PlacementResult` /
-:class:`~repro.layout.router.RoutedNet` objects through the same fast
-constructors the vectorized router uses (:func:`repro.layout.router.
-_new_segments` / ``_new_vias``).
+regenerated netlist.  Both directions stay columnar on column-backed
+routings: encode copies the :class:`~repro.layout.arrays.RoutingArrays`
+columns near-verbatim into the payload, and decode keeps the payload
+columns as a fresh ``RoutingArrays`` behind lazy
+:class:`~repro.layout.router.RoutedNet` shells — per-object geometry is
+only materialized if a consumer of the loaded build touches it.  Routings
+without a clean column backing (hand-assembled nets, mutated object
+graphs) take the retained object-walk encode path; both paths produce
+byte-identical payloads.
 
 Builds that carry state the columnar format cannot represent — today the
 ``proposed`` scheme's full :class:`~repro.core.flow.ProtectionResult` —
@@ -51,16 +55,11 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.layout.arrays import RoutingArrays, routing_backing
 from repro.layout.floorplan import Floorplan
 from repro.layout.geometry import Point, Rect
 from repro.layout.layout import Layout
 from repro.layout.placer import PlacementResult, PlacerConfig
-from repro.layout.router import (
-    RoutedConnection,
-    RoutedNet,
-    _new_segments,
-    _new_vias,
-)
 from repro.netlist.netlist import Netlist
 
 #: Bump on ANY change to the payload schema or to the meaning of a stored
@@ -229,6 +228,14 @@ def _encode_layout(layout: Layout, netlist: Netlist,
     )
 
     # -- routing: skeleton columns + coordinate columns --------------------
+    backing = routing_backing(layout.routing)
+    if backing is not None:
+        # Column-backed routing that was never materialized: the payload is
+        # a near-copy of the columns (byte-identical to the object walk
+        # below), no Segment/Via/RoutedConnection object ever built.
+        _encode_routing_fast(backing, net_index, gate_index, arrays, prefix)
+        return _layout_record(layout, netlist, net_index, arrays, prefix)
+
     rnet_net: List[int] = []
     rnet_driver = np.empty((len(layout.routing), 2), dtype=np.float64)
     rnet_has_driver: List[bool] = []
@@ -337,6 +344,95 @@ def _encode_layout(layout: Layout, netlist: Netlist,
         dvia_rows, dtype=np.float64
     ).reshape(-1, 3)
 
+    return _layout_record(layout, netlist, net_index, arrays, prefix)
+
+
+def _encode_routing_fast(backing: RoutingArrays, net_index: Dict[str, int],
+                         gate_index: Dict[str, int],
+                         arrays: Dict[str, np.ndarray], prefix: str) -> None:
+    """Routing payload straight from a clean :class:`RoutingArrays`.
+
+    Byte-identical to the object walk in :func:`_encode_layout`: the same
+    arrays with the same dtypes and values, built as column copies/stacks
+    (plus the two name→index translation loops the format needs) instead of
+    a triple-nested object traversal.  Interning the sink tokens from
+    ``sink_refs`` in connection order reproduces the walk's first-appearance
+    token ids exactly.
+    """
+    num_conns = backing.num_connections
+    try:
+        rnet_net = np.fromiter(
+            (net_index[name] for name in backing.net_names),
+            dtype=np.int64, count=backing.num_nets,
+        )
+        if backing.conn_net_names is not None:
+            conn_net = np.fromiter(
+                (net_index[name] for name in backing.conn_net_names),
+                dtype=np.int64, count=num_conns,
+            )
+        else:
+            conn_net = np.repeat(rnet_net, np.diff(backing.conn_starts))
+        sink_tokens: Dict[str, int] = {}
+        token = sink_tokens.setdefault
+        conn_sink_gate = np.fromiter(
+            (-1 if first == "PO" else gate_index[first]
+             for first, _second in backing.sink_refs),
+            dtype=np.int64, count=num_conns,
+        )
+        conn_sink_token = np.fromiter(
+            (token(second, len(sink_tokens))
+             for _first, second in backing.sink_refs),
+            dtype=np.int64, count=num_conns,
+        )
+    except KeyError as error:
+        raise UnstorableBuild(f"routing references unknown name: {error}")
+
+    arrays[prefix + "rnet_net"] = rnet_net
+    # Column-backed drivers hold (0.0, 0.0) wherever has_driver is false —
+    # the same placeholder the object walk writes.
+    arrays[prefix + "rnet_driver"] = np.column_stack(
+        (backing.driver_x, backing.driver_y)
+    )
+    arrays[prefix + "rnet_has_driver"] = backing.has_driver.astype(np.uint8)
+    arrays[prefix + "rnet_conn_count"] = np.diff(backing.conn_starts)
+    arrays[prefix + "rnet_dvia_count"] = np.diff(backing.dvia_starts)
+    arrays[prefix + "sink_tokens"] = np.array(
+        sorted(sink_tokens, key=sink_tokens.get), dtype=np.str_
+    )
+    arrays[prefix + "conn_net"] = conn_net
+    arrays[prefix + "conn_sink_gate"] = conn_sink_gate
+    arrays[prefix + "conn_sink_token"] = conn_sink_token
+    arrays[prefix + "conn_layers"] = np.column_stack(
+        (backing.h_layer, backing.v_layer)
+    ).astype(np.int16)
+    arrays[prefix + "conn_coords"] = np.column_stack(
+        (backing.sx, backing.sy, backing.tx, backing.ty)
+    )
+    arrays[prefix + "conn_hints"] = np.column_stack(
+        (backing.hint_sx, backing.hint_sy, backing.hint_tx, backing.hint_ty)
+    )
+    arrays[prefix + "conn_hint_mask"] = np.column_stack(
+        (backing.hint_src_present, backing.hint_tgt_present)
+    )
+    arrays[prefix + "conn_protected"] = backing.protected.astype(np.uint8)
+    arrays[prefix + "conn_seg_count"] = np.diff(backing.seg_starts)
+    arrays[prefix + "conn_via_count"] = np.diff(backing.via_starts)
+    arrays[prefix + "seg_rows"] = np.column_stack((
+        backing.seg_layer, backing.seg_x1, backing.seg_y1,
+        backing.seg_x2, backing.seg_y2,
+    ))
+    arrays[prefix + "via_rows"] = np.column_stack(
+        (backing.via_x, backing.via_y, backing.via_lower)
+    )
+    arrays[prefix + "dvia_rows"] = np.column_stack(
+        (backing.dvia_x, backing.dvia_y, backing.dvia_lower)
+    )
+
+
+def _layout_record(layout: Layout, netlist: Netlist,
+                   net_index: Dict[str, int],
+                   arrays: Dict[str, np.ndarray], prefix: str) -> Dict[str, Any]:
+    placement = layout.placement
     try:
         protected = sorted(net_index[name] for name in layout.protected_nets)
     except KeyError as error:
@@ -482,97 +578,79 @@ def _decode_layout(record: Mapping[str, Any], arrays: Mapping[str, np.ndarray],
             or rnet_driver.ndim != 2 or rnet_driver.shape[1] != 2):
         raise CodecError("connection columns have unexpected shapes")
 
-    # Split every 2-D column block into flat Python lists up front: one flat
-    # ``tolist`` per column is far cheaper than a nested row-of-lists
-    # ``tolist`` plus per-row unpacking in the decode loop.
-    rdrv_x = rnet_driver[:, 0].tolist()
-    rdrv_y = rnet_driver[:, 1].tolist()
-    conn_h_layer = conn_layers[:, 0].tolist()
-    conn_v_layer = conn_layers[:, 1].tolist()
-    conn_sx = conn_coords[:, 0].tolist()
-    conn_sy = conn_coords[:, 1].tolist()
-    conn_tx = conn_coords[:, 2].tolist()
-    conn_ty = conn_coords[:, 3].tolist()
-    conn_hsx = conn_hints[:, 0].tolist()
-    conn_hsy = conn_hints[:, 1].tolist()
-    conn_htx = conn_hints[:, 2].tolist()
-    conn_hty = conn_hints[:, 3].tolist()
-    conn_src_hint = conn_hint_mask[:, 0].tolist()
-    conn_tgt_hint = conn_hint_mask[:, 1].tolist()
-
-    seg_layers = seg_rows[:, 0].astype(np.int64).tolist() if len(seg_rows) else []
-    seg_cols = [seg_rows[:, i].tolist() if len(seg_rows) else []
-                for i in range(1, 5)]
-    via_x = via_rows[:, 0].tolist() if len(via_rows) else []
-    via_y = via_rows[:, 1].tolist() if len(via_rows) else []
-    via_lower = via_rows[:, 2].astype(np.int64).tolist() if len(via_rows) else []
-    via_upper = [lower + 1 for lower in via_lower]
-    dvia_x = dvia_rows[:, 0].tolist() if len(dvia_rows) else []
-    dvia_y = dvia_rows[:, 1].tolist() if len(dvia_rows) else []
-    dvia_lower = dvia_rows[:, 2].astype(np.int64).tolist() if len(dvia_rows) else []
-    dvia_upper = [lower + 1 for lower in dvia_lower]
-
-    # Materialize every Segment/Via up front in one bulk pass per table —
-    # per-connection _new_segments/_new_vias calls dominate decode time on
-    # large layouts (tens of thousands of tiny calls), while slicing a
-    # pre-built object list is nearly free.
-    all_segments = _new_segments(seg_layers, *seg_cols)
-    all_vias = _new_vias(via_x, via_y, via_lower, via_upper)
-    all_dvias = _new_vias(dvia_x, dvia_y, dvia_lower, dvia_upper)
-
-    # RoutedConnection funnels eleven fields through its generated __init__;
-    # populate __dict__ wholesale instead (it is not frozen, so plain
-    # assignment is legal — and one dict display beats eleven setattrs).
-    _conn_new = RoutedConnection.__new__
-
-    routing: Dict[str, RoutedNet] = {}
-    conn_cursor = seg_cursor = via_cursor = dvia_cursor = 0
+    # Columnar decode: keep the payload columns AS the routing (one
+    # RoutingArrays backing + lazy RoutedNet shells) and resolve only the
+    # name references eagerly.  Nothing geometric is materialized until a
+    # consumer touches a net's ``connections``/``driver_vias`` — re-encoding
+    # a freshly decoded build is a near-copy of these same columns.
     try:
-        for entry_index, net_idx in enumerate(rnet_net):
-            net_name = net_names[net_idx]
-            driver_point: Optional[Point] = None
-            if rnet_has_driver[entry_index]:
-                driver_point = fast_point(
-                    rdrv_x[entry_index], rdrv_y[entry_index]
-                )
-            dvia_stop = dvia_cursor + rnet_dvia_count[entry_index]
-            routed = RoutedNet(
-                name=net_name,
-                driver_point=driver_point,
-                driver_vias=all_dvias[dvia_cursor:dvia_stop],
+        entry_names = [net_names[i] for i in rnet_net]
+        conn_net_names = [net_names[i] for i in conn_net]
+        sink_refs = [
+            ("PO" if gate < 0 else gate_names[gate], sink_tokens[tok])
+            for gate, tok in zip(conn_sink_gate, conn_sink_token)
+        ]
+        driver_points: List[Optional[Point]] = [
+            fast_point(x, y) if has else None
+            for has, x, y in zip(
+                rnet_has_driver,
+                rnet_driver[:, 0].tolist(), rnet_driver[:, 1].tolist(),
             )
-            dvia_cursor = dvia_stop
-            for _ in range(rnet_conn_count[entry_index]):
-                i = conn_cursor
-                gate_idx = conn_sink_gate[i]
-                sink = (
-                    "PO" if gate_idx < 0 else gate_names[gate_idx],
-                    sink_tokens[conn_sink_token[i]],
-                )
-                seg_stop = seg_cursor + conn_seg_count[i]
-                via_stop = via_cursor + conn_via_count[i]
-                connection = _conn_new(RoutedConnection)
-                connection.__dict__ = {
-                    "net": net_names[conn_net[i]],
-                    "sink": sink,
-                    "source": fast_point(conn_sx[i], conn_sy[i]),
-                    "target": fast_point(conn_tx[i], conn_ty[i]),
-                    "h_layer": conn_h_layer[i],
-                    "v_layer": conn_v_layer[i],
-                    "segments": all_segments[seg_cursor:seg_stop],
-                    "vias": all_vias[via_cursor:via_stop],
-                    "source_hint": (fast_point(conn_hsx[i], conn_hsy[i])
-                                    if conn_src_hint[i] else None),
-                    "target_hint": (fast_point(conn_htx[i], conn_hty[i])
-                                    if conn_tgt_hint[i] else None),
-                    "protected": bool(conn_protected[i]),
-                }
-                routed.connections.append(connection)
-                seg_cursor, via_cursor = seg_stop, via_stop
-                conn_cursor += 1
-            routing[net_name] = routed
+        ]
     except IndexError:
         raise CodecError("routing index out of range for the regenerated netlist")
+
+    dvia_lower = (dvia_rows[:, 2].astype(np.int64) if len(dvia_rows)
+                  else np.empty(0, dtype=np.int64))
+    via_lower = (via_rows[:, 2].astype(np.int64) if len(via_rows)
+                 else np.empty(0, dtype=np.int64))
+    seg_layer = (seg_rows[:, 0].astype(np.int64) if len(seg_rows)
+                 else np.empty(0, dtype=np.int64))
+    empty_f64 = np.empty(0, dtype=np.float64)
+
+    def _csr(counts: List[int]) -> np.ndarray:
+        return np.concatenate(
+            ([0], np.cumsum(np.asarray(counts, dtype=np.int64)))
+        ).astype(np.int64)
+
+    backing = RoutingArrays(
+        net_names=entry_names,
+        conn_starts=_csr(rnet_conn_count),
+        driver_x=rnet_driver[:, 0],
+        driver_y=rnet_driver[:, 1],
+        has_driver=np.asarray(rnet_has_driver, dtype=bool),
+        driver_points=driver_points,
+        dvia_starts=_csr(rnet_dvia_count),
+        dvia_x=dvia_rows[:, 0] if len(dvia_rows) else empty_f64,
+        dvia_y=dvia_rows[:, 1] if len(dvia_rows) else empty_f64,
+        dvia_lower=dvia_lower,
+        dvia_upper=dvia_lower + 1,
+        sink_refs=sink_refs,
+        sx=conn_coords[:, 0], sy=conn_coords[:, 1],
+        tx=conn_coords[:, 2], ty=conn_coords[:, 3],
+        h_layer=conn_layers[:, 0].astype(np.int64),
+        v_layer=conn_layers[:, 1].astype(np.int64),
+        protected=np.asarray(conn_protected, dtype=np.uint8),
+        # Copies: override_hints writes these in place (defense re-aiming).
+        hint_sx=conn_hints[:, 0].copy(), hint_sy=conn_hints[:, 1].copy(),
+        hint_tx=conn_hints[:, 2].copy(), hint_ty=conn_hints[:, 3].copy(),
+        hint_src_present=conn_hint_mask[:, 0].astype(np.uint8).copy(),
+        hint_tgt_present=conn_hint_mask[:, 1].astype(np.uint8).copy(),
+        hint_default=np.zeros(n_conns, dtype=bool),
+        seg_starts=_csr(conn_seg_count),
+        via_starts=_csr(conn_via_count),
+        seg_layer=seg_layer,
+        seg_x1=seg_rows[:, 1] if len(seg_rows) else empty_f64,
+        seg_y1=seg_rows[:, 2] if len(seg_rows) else empty_f64,
+        seg_x2=seg_rows[:, 3] if len(seg_rows) else empty_f64,
+        seg_y2=seg_rows[:, 4] if len(seg_rows) else empty_f64,
+        via_x=via_rows[:, 0] if len(via_rows) else empty_f64,
+        via_y=via_rows[:, 1] if len(via_rows) else empty_f64,
+        via_lower=via_lower,
+        via_upper=via_lower + 1,
+        conn_net_names=conn_net_names,
+    )
+    routing = backing.lazy_nets()
 
     try:
         protected_nets = {

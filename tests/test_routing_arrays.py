@@ -1,0 +1,249 @@
+"""Columnar routing end-to-end: lazy materialization and array-native consumers.
+
+The router returns :class:`~repro.layout.arrays.RoutingArrays`-backed
+``RoutedNet`` shells; per-object graphs are materialized only on first
+attribute access.  These tests pin the contract:
+
+* every array-native consumer (net lengths, top layers, the layout's
+  columnar view, the codec encode path, the routing-perturbation defense)
+  is bit-exact with the per-object walk **and never materializes** — the
+  backing's ``materialized_count`` stays zero;
+* consumers may run in any order, on any batch size, with identical
+  results (Hypothesis property);
+* laziness is observation-invisible: attribute access, pickling and the
+  codec round-trip behave exactly like eager objects.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import iscas85_netlist
+from repro.layout.arrays import routing_backing
+from repro.layout.floorplan import build_floorplan
+from repro.layout.layout import build_layout, build_layout_batch
+from repro.layout.placer import PlacerConfig, place
+from repro.layout.router import RouterConfig, route, route_reference
+from repro.store import codec
+
+CIRCUIT = "c432"
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return iscas85_netlist(CIRCUIT, seed=1)
+
+
+@pytest.fixture(scope="module")
+def placement(netlist):
+    floorplan = build_floorplan(netlist, 0.70)
+    return place(netlist, floorplan, 0.70, PlacerConfig(seed=3))
+
+
+def _reference_routing(netlist, placement):
+    return route_reference(netlist, placement, RouterConfig())
+
+
+# -- laziness: array-native consumers never build objects -------------------
+
+
+def test_route_returns_clean_backing(netlist, placement):
+    routing = route(netlist, placement, RouterConfig())
+    backing = routing_backing(routing)
+    assert backing is not None
+    assert backing.materialized_count == 0
+    assert backing.num_nets == len(routing)
+
+
+def test_metric_consumers_never_materialize(netlist):
+    layout = build_layout(netlist, seed=3)
+    backing = routing_backing(layout.routing)
+    assert backing is not None
+    layout.net_lengths_um()
+    layout.net_top_layers()
+    layout.total_wirelength_um()
+    layout.wirelength_by_layer()
+    layout.via_counts()
+    layout.arrays()
+    assert backing.materialized_count == 0
+
+
+def test_codec_encode_never_materializes(netlist):
+    from repro.api.schemes import SchemeBuild
+
+    layout = build_layout(netlist, seed=3)
+    backing = routing_backing(layout.routing)
+    build = SchemeBuild(scheme="original", layout=layout, baseline=layout)
+    codec.encode_build(build, netlist)
+    assert backing.materialized_count == 0
+
+
+def test_defense_never_materializes(netlist):
+    from repro.defenses.routing_perturbation import routing_perturbation_defense
+
+    layout = routing_perturbation_defense(netlist, seed=5)
+    backing = routing_backing(layout.routing)
+    assert backing is not None
+    assert backing.materialized_count == 0
+
+
+def test_attribute_access_materializes_and_dirties_backing(netlist, placement):
+    routing = route(netlist, placement, RouterConfig())
+    backing = routing_backing(routing)
+    name = next(iter(routing))
+    _ = routing[name].connections
+    assert backing.materialized_count == 1
+    # A dirtied backing is rejected by the clean lookup (fast paths must not
+    # trust columns whose object twins may have been edited)...
+    assert routing_backing(routing) is None
+    # ...but remains reachable for callers that handle staleness themselves.
+    assert routing_backing(routing, require_clean=False) is backing
+
+
+# -- bit-exactness vs the reference object walk -----------------------------
+
+
+def test_lazy_equals_reference_objects(netlist, placement):
+    routing = route(netlist, placement, RouterConfig())
+    reference = _reference_routing(netlist, placement)
+    assert list(routing) == list(reference)
+    for name in reference:
+        lazy, ref = routing[name], reference[name]
+        assert lazy.driver_point == ref.driver_point
+        assert lazy.driver_vias == ref.driver_vias
+        assert len(lazy.connections) == len(ref.connections)
+        for a, b in zip(lazy.connections, ref.connections):
+            assert a.segments == b.segments and a.vias == b.vias
+            assert a.source_hint == b.source_hint
+            assert a.target_hint == b.target_hint
+
+
+def test_lazy_shell_pickles_like_eager_net(netlist, placement):
+    routing = route(netlist, placement, RouterConfig())
+    reference = _reference_routing(netlist, placement)
+    for name in list(reference)[:5]:
+        assert pickle.dumps(routing[name]) == pickle.dumps(reference[name])
+
+
+def test_fast_metrics_match_object_walk(netlist):
+    layout = build_layout(netlist, seed=3)
+    lengths = layout.net_lengths_um()
+    tops = layout.net_top_layers()
+    # The per-object fallback on fully materialized nets is the ground truth.
+    assert lengths == {
+        name: routed.length for name, routed in layout.routing.items()
+    }
+    assert tops == {
+        name: routed.top_layer for name, routed in layout.routing.items()
+    }
+
+
+# -- consumer-order / batch-size equivalence property -----------------------
+
+_CONSUMERS = {
+    "net_lengths": lambda layout: layout.net_lengths_um(),
+    "net_top_layers": lambda layout: layout.net_top_layers(),
+    "total_wirelength": lambda layout: layout.total_wirelength_um(),
+    "via_counts": lambda layout: layout.via_counts(),
+    "wirelength_by_layer": lambda layout: layout.wirelength_by_layer(),
+}
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    order=st.permutations(sorted(_CONSUMERS)),
+    batch_size=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+def test_columnar_consumers_equal_materialized_any_order(order, batch_size, data):
+    """Any consumer order, any batch size: columnar == fully materialized."""
+    netlist = iscas85_netlist("c17", seed=1)
+    seeds = list(range(batch_size))
+    layouts = build_layout_batch(netlist, seeds)
+    # Interleave: optionally materialize some layouts *before* consuming,
+    # forcing those onto the per-object fallback paths mid-sequence.
+    for layout in layouts:
+        eager = data.draw(st.booleans())
+        if eager:
+            for routed in layout.routing.values():
+                _ = routed.connections  # dirties the backing
+    for layout, seed in zip(layouts, seeds):
+        expected = build_layout(netlist, seed=seed)
+        for routed in expected.routing.values():
+            _ = routed.connections
+        for name in order:
+            assert _CONSUMERS[name](layout) == _CONSUMERS[name](expected), name
+
+
+# -- codec: byte identity and lazy decode -----------------------------------
+
+
+def _build_of(layout):
+    from repro.api.schemes import SchemeBuild
+
+    return SchemeBuild(scheme="original", layout=layout, baseline=layout)
+
+
+def _assert_payloads_identical(a, b):
+    record_a, arrays_a = a
+    record_b, arrays_b = b
+    assert record_a == record_b
+    assert sorted(arrays_a) == sorted(arrays_b)
+    for key in arrays_a:
+        assert arrays_a[key].dtype == arrays_b[key].dtype, key
+        assert np.array_equal(
+            arrays_a[key], arrays_b[key]
+        ), key
+
+
+def test_encode_fast_path_byte_identical_to_object_walk(netlist):
+    lazy = build_layout(netlist, seed=3)
+    eager = build_layout(netlist, seed=3)
+    for routed in eager.routing.values():
+        _ = routed.connections  # force the legacy object-walk encoder
+    assert routing_backing(eager.routing) is None
+    _assert_payloads_identical(
+        codec.encode_build(_build_of(lazy), netlist),
+        codec.encode_build(_build_of(eager), netlist),
+    )
+
+
+def test_decode_yields_clean_lazy_backing(netlist):
+    layout = build_layout(netlist, seed=3)
+    record, arrays = codec.encode_build(_build_of(layout), netlist)
+    decoded = codec.decode_build(record, arrays, netlist)
+    backing = routing_backing(decoded.layout.routing)
+    assert backing is not None and backing.materialized_count == 0
+    # Warm-decode consumers stay columnar...
+    assert decoded.layout.net_lengths_um() == layout.net_lengths_um()
+    re_record, re_arrays = codec.encode_build(_build_of(decoded.layout), netlist)
+    assert backing.materialized_count == 0
+    _assert_payloads_identical((record, arrays), (re_record, re_arrays))
+    # ...and the decoded objects still equal the in-memory ones on demand.
+    for name in list(layout.routing)[:5]:
+        ours, theirs = layout.routing[name], decoded.layout.routing[name]
+        assert ours.driver_vias == theirs.driver_vias
+        assert ours.connections == theirs.connections
+
+
+# -- defense: columnar hint overrides == object-path hints -------------------
+
+
+def test_defense_backing_path_matches_object_path(netlist, monkeypatch):
+    from repro.defenses import routing_perturbation as rp
+
+    fast = rp.routing_perturbation_defense(netlist, seed=7)
+    monkeypatch.setattr(rp, "routing_backing", lambda routing: None)
+    slow = rp.routing_perturbation_defense(netlist, seed=7)
+    assert list(fast.routing) == list(slow.routing)
+    for name in fast.routing:
+        for a, b in zip(fast.routing[name].connections,
+                        slow.routing[name].connections):
+            assert a.source_hint == b.source_hint, name
+            assert a.target_hint == b.target_hint, name
+            assert a.segments == b.segments, name

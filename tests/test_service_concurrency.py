@@ -69,6 +69,18 @@ def test_two_threads_prewarming_same_spec_build_once():
     ws = Workspace(store=None)
     spec = ScenarioSpec(benchmark="c17", scheme="original",
                         metrics=("distances",), seed=0)
+    # Hold each thread after its claim until the other has claimed too:
+    # without this gate the first prewarm can finish the (fast) c17 build
+    # before the second thread reaches the registry, and the inflight wait
+    # asserted below never happens.  Post-claim, the loser is guaranteed to
+    # hold the winner's in-flight event.
+    claimed = threading.Barrier(2)
+    real_claim = ws._claim_builds
+    def gated_claim(keys):
+        result = real_claim(keys)
+        claimed.wait(timeout=30)
+        return result
+    ws._claim_builds = gated_claim
     outcomes = _hammer(2, lambda: ws.prewarm([spec]))
     for outcome in outcomes:
         assert not isinstance(outcome, Exception), outcome

@@ -113,6 +113,32 @@ class TestAggregation:
         leaves = dict(flatten_sweep_aggregate(agg, "root"))
         assert list(leaves) == ["root.mean_stat"]
 
+    def test_nonfinite_seed_excluded_from_moments(self):
+        # Regression: one NaN leaf used to poison mean/std/ci95 of the
+        # whole sweep.  Moments now cover only the finite seeds, with an
+        # honest n, while per_seed keeps the raw values.
+        agg = aggregate_sweep_values([1.0, float("nan"), 3.0, float("inf")])
+        assert agg["mean"] == 2.0
+        assert agg["std"] == pytest.approx(math.sqrt(2.0))
+        assert agg["min"] == 1.0 and agg["max"] == 3.0
+        assert agg["n"] == 2
+        assert agg["n_nonfinite"] == 2
+        assert math.isnan(agg["per_seed"][1])
+        assert agg["per_seed"][3] == float("inf")
+
+    def test_all_finite_leaf_has_no_nonfinite_key(self):
+        # The happy path must keep its historical wire shape: golden
+        # snapshots key on the exact stat-dict keys.
+        agg = aggregate_sweep_values([1.0, 2.0])
+        assert "n_nonfinite" not in agg
+
+    def test_all_nonfinite_leaf_reports_none_stats(self):
+        agg = aggregate_sweep_values([float("nan"), float("-inf")])
+        assert agg["mean"] is None and agg["std"] is None
+        assert agg["ci95"] is None and agg["min"] is None and agg["max"] is None
+        assert agg["n"] == 0 and agg["n_nonfinite"] == 2
+        assert len(agg["per_seed"]) == 2
+
 
 class TestWorkspaceSweeps:
     def test_run_sweep_aggregates_per_seed_results(self):
